@@ -1,0 +1,208 @@
+package hpmmap
+
+import (
+	"fmt"
+
+	"hpmmap/internal/experiments"
+	"hpmmap/internal/trace"
+	"hpmmap/internal/workload"
+)
+
+// BenchmarkOptions configures one measured application run, mirroring the
+// paper's experimental setup.
+type BenchmarkOptions struct {
+	// Benchmark: "HPCCG", "CoMD", "miniMD", "miniFE" or "LAMMPS".
+	Benchmark string
+	// Manager configuration (default ManagerHPMMAP).
+	Manager Manager
+	// Profile of competing commodity work: "none", "A", "B" (single
+	// node), "C", "D" (cluster). Default "none".
+	Profile string
+	// Ranks of the weak-scaled MPI application.
+	Ranks int
+	Seed  uint64
+	// Scale shrinks the problem and machine together for quick runs
+	// (1.0 = paper size).
+	Scale float64
+}
+
+// BenchmarkResult reports a completed run.
+type BenchmarkResult struct {
+	RuntimeSeconds float64
+	// Faults aggregates all ranks.
+	Faults FaultReport
+	// MeanPressure is the time-averaged memory pressure during the run.
+	MeanPressure float64
+}
+
+func managerKind(m Manager) (experiments.ManagerKind, error) {
+	switch m {
+	case "", ManagerHPMMAP:
+		return experiments.HPMMAP, nil
+	case ManagerTHP:
+		return experiments.THP, nil
+	case ManagerHugeTLBfs:
+		return experiments.HugeTLBfs, nil
+	}
+	return 0, fmt.Errorf("hpmmap: unknown manager %q", m)
+}
+
+func profileOf(p string) (experiments.Profile, error) {
+	switch p {
+	case "", "none":
+		return experiments.ProfileNone, nil
+	case "A", "a":
+		return experiments.ProfileA, nil
+	case "B", "b":
+		return experiments.ProfileB, nil
+	case "C", "c":
+		return experiments.ProfileC, nil
+	case "D", "d":
+		return experiments.ProfileD, nil
+	}
+	return 0, fmt.Errorf("hpmmap: unknown profile %q", p)
+}
+
+// RunBenchmark executes one single-node benchmark run (a cell of the
+// paper's Figure 7).
+func RunBenchmark(o BenchmarkOptions) (BenchmarkResult, error) {
+	spec, ok := workload.ByName(o.Benchmark)
+	if !ok {
+		return BenchmarkResult{}, fmt.Errorf("hpmmap: unknown benchmark %q", o.Benchmark)
+	}
+	kind, err := managerKind(o.Manager)
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	prof, err := profileOf(o.Profile)
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 1
+	}
+	out, err := experiments.ExecuteSingleNode(experiments.SingleRun{
+		Bench:   spec,
+		Kind:    kind,
+		Profile: prof,
+		Ranks:   o.Ranks,
+		Seed:    o.Seed,
+		Scale:   experiments.Scale(o.Scale),
+	})
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	res := BenchmarkResult{RuntimeSeconds: out.RuntimeSec, MeanPressure: out.MeanPressure}
+	for _, rr := range out.Result.Ranks {
+		r := reportOf(rr.Faults)
+		res.Faults.Faults += r.Faults
+		res.Faults.Cycles += r.Cycles
+		res.Faults.Stalls += r.Stalls
+	}
+	return res, nil
+}
+
+// RunClusterBenchmark executes one multi-node run (a cell of Figure 8):
+// 4 ranks per node on the 8-node Sandia testbed model.
+func RunClusterBenchmark(o BenchmarkOptions) (BenchmarkResult, error) {
+	spec, ok := workload.ByName(o.Benchmark)
+	if !ok {
+		return BenchmarkResult{}, fmt.Errorf("hpmmap: unknown benchmark %q", o.Benchmark)
+	}
+	kind, err := managerKind(o.Manager)
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	prof, err := profileOf(o.Profile)
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	out, err := experiments.ExecuteCluster(experiments.ClusterRun{
+		Bench:   spec,
+		Kind:    kind,
+		Profile: prof,
+		Ranks:   o.Ranks,
+		Seed:    o.Seed,
+		Scale:   experiments.Scale(o.Scale),
+	})
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	res := BenchmarkResult{RuntimeSeconds: out.RuntimeSec}
+	for _, rr := range out.Result.Ranks {
+		r := reportOf(rr.Faults)
+		res.Faults.Faults += r.Faults
+		res.Faults.Cycles += r.Cycles
+	}
+	return res, nil
+}
+
+// FaultStudyRow is one load condition of a fault-cost study.
+type FaultStudyRow struct {
+	Loaded bool
+	// Kinds maps fault-kind name to (count, avg cycles, stdev cycles).
+	Kinds map[string]FaultKindStats
+}
+
+// FaultKindStats summarizes one fault kind.
+type FaultKindStats struct {
+	Count       uint64
+	AvgCycles   float64
+	StdevCycles float64
+}
+
+// RunFaultStudy reproduces the per-fault measurement of the paper's
+// Figures 2 and 3 for the given manager, with and without a competing
+// kernel build.
+func RunFaultStudy(benchmark string, m Manager, seed uint64, scale float64) ([]FaultStudyRow, error) {
+	kind, err := managerKind(m)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := experiments.RunFaultStudy(experiments.FaultStudyOptions{
+		Bench: benchmark,
+		Kind:  kind,
+		Seed:  seed,
+		Scale: experiments.Scale(scale),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []FaultStudyRow
+	for _, row := range fs.Rows {
+		r := FaultStudyRow{Loaded: row.Loaded, Kinds: map[string]FaultKindStats{}}
+		for _, s := range row.Summaries {
+			r.Kinds[s.Kind.String()] = FaultKindStats{Count: s.Count, AvgCycles: s.AvgCycles, StdevCycles: s.StdevCycles}
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Timeline returns the ASCII fault-timeline scatter for a benchmark under
+// a manager (the paper's Figures 4–5 medium).
+func Timeline(benchmark string, m Manager, loaded bool, seed uint64, scale float64, width, height int) (string, error) {
+	kind, err := managerKind(m)
+	if err != nil {
+		return "", err
+	}
+	fs, err := experiments.RunFaultStudy(experiments.FaultStudyOptions{
+		Bench: benchmark,
+		Kind:  kind,
+		Seed:  seed,
+		Scale: experiments.Scale(scale),
+	})
+	if err != nil {
+		return "", err
+	}
+	var rec *trace.Recorder
+	for _, row := range fs.Rows {
+		if row.Loaded == loaded {
+			rec = row.Recorder
+		}
+	}
+	if rec == nil {
+		return "", fmt.Errorf("hpmmap: no matching study row")
+	}
+	return rec.Scatter(width, height, true), nil
+}

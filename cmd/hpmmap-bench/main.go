@@ -1,0 +1,184 @@
+// Command hpmmap-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hpmmap-bench -exp fig2            # THP fault-cost table (Fig. 2)
+//	hpmmap-bench -exp fig3            # HugeTLBfs fault-cost table (Fig. 3)
+//	hpmmap-bench -exp fig4            # THP fault timeline (Fig. 4)
+//	hpmmap-bench -exp fig5            # HugeTLBfs fault timelines (Fig. 5)
+//	hpmmap-bench -exp fig7            # single-node weak scaling (Fig. 7)
+//	hpmmap-bench -exp fig8            # 8-node scaling study (Fig. 8)
+//	hpmmap-bench -exp all             # everything
+//
+// -scale shrinks the experiment (memory, footprints, iterations) for
+// quick runs; -runs overrides the paper's 10 repetitions; -bench and
+// -cores narrow Figure 7 to one cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpmmap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig7|fig8|noise|all")
+		scale   = flag.Float64("scale", 1.0, "problem/memory scale factor (1.0 = paper size)")
+		runs    = flag.Int("runs", 0, "repetitions per cell (0 = paper default of 10)")
+		seed    = flag.Uint64("seed", 0, "base seed (0 = default)")
+		benches = flag.String("bench", "", "comma-separated benchmarks (fig7/fig8 only)")
+		cores   = flag.String("cores", "", "comma-separated core counts (fig7 only)")
+		verbose = flag.Bool("v", false, "print per-cell progress")
+		plotW   = flag.Int("plot-width", 100, "timeline plot width")
+		plotH   = flag.Int("plot-height", 18, "timeline plot height")
+		outDir  = flag.String("out", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(msg string) { fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg) }
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	sc := experiments.Scale(*scale)
+
+	run("fig2", func() error {
+		fs, err := experiments.Fig2(*seed, sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFaultStudy(os.Stdout, fs)
+		return nil
+	})
+	run("fig3", func() error {
+		fs, err := experiments.Fig3(*seed, sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFaultStudy(os.Stdout, fs)
+		return nil
+	})
+	run("fig4", func() error {
+		tls, err := experiments.Fig4(*seed, sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTimelines(os.Stdout, "Figure 4: THP fault timeline, miniMD", tls, *plotW, *plotH)
+		return nil
+	})
+	run("fig5", func() error {
+		tls, err := experiments.Fig5(*seed, sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTimelines(os.Stdout, "Figure 5: HugeTLBfs fault timelines", tls, *plotW, *plotH)
+		return nil
+	})
+	writeCSV := func(name string, lines []string) error {
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*outDir, name), []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+	}
+
+	run("fig7", func() error {
+		opts := experiments.Fig7Options{
+			Runs:     *runs,
+			Seed:     *seed,
+			Scale:    sc,
+			Progress: progress,
+			Benches:  splitList(*benches),
+		}
+		for _, c := range splitList(*cores) {
+			v, err := strconv.Atoi(c)
+			if err != nil {
+				return fmt.Errorf("bad -cores entry %q", c)
+			}
+			opts.CoreCounts = append(opts.CoreCounts, v)
+		}
+		panels, err := experiments.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig7(os.Stdout, panels)
+		lines := []string{"bench,profile,manager,cores,mean_sec,stdev_sec"}
+		for _, p := range panels {
+			for _, s := range p.Series {
+				for _, pt := range s.Points {
+					lines = append(lines, fmt.Sprintf("%s,%s,%s,%d,%.3f,%.3f",
+						p.Bench, p.Profile, s.Kind, pt.Cores, pt.MeanSec, pt.StdevSec))
+				}
+			}
+		}
+		return writeCSV("fig7.csv", lines)
+	})
+	run("noise", func() error {
+		points, err := experiments.NoiseStudy(experiments.NoiseStudyOptions{Seed: *seed, Scale: sc})
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== BSP noise-amplification study (HPMMAP-managed HPCCG, synthetic detours) ===")
+		fmt.Print(experiments.WriteNoiseStudy(points))
+		return nil
+	})
+	run("fig8", func() error {
+		panels, err := experiments.Fig8(experiments.Fig8Options{
+			Runs:     *runs,
+			Seed:     *seed,
+			Scale:    sc,
+			Progress: progress,
+			Benches:  splitList(*benches),
+		})
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig8(os.Stdout, panels)
+		lines := []string{"bench,profile,manager,ranks,mean_sec,stdev_sec"}
+		for _, p := range panels {
+			for _, s := range p.Series {
+				for _, pt := range s.Points {
+					lines = append(lines, fmt.Sprintf("%s,%s,%s,%d,%.3f,%.3f",
+						p.Bench, p.Profile, s.Kind, pt.Ranks, pt.MeanSec, pt.StdevSec))
+				}
+			}
+		}
+		return writeCSV("fig8.csv", lines)
+	})
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Command hpmmap-faulttrace runs the per-fault measurement studies behind
+// the paper's Figures 2–5: an instrumented benchmark at micro fidelity,
+// with and without a competing kernel build, under a chosen memory
+// manager. It prints the fault-cost table, renders the timeline scatter,
+// and optionally dumps every fault as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpmmap/internal/experiments"
+	"hpmmap/internal/fault"
+)
+
+func main() {
+	bench := flag.String("bench", "miniMD", "benchmark: HPCCG|CoMD|miniMD|miniFE|LAMMPS")
+	manager := flag.String("manager", "thp", "memory manager: thp|hugetlbfs")
+	ranks := flag.Int("ranks", 8, "application ranks")
+	seed := flag.Uint64("seed", 0, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "problem/memory scale")
+	csvPath := flag.String("csv", "", "write per-fault CSV for the loaded run to this file")
+	plotW := flag.Int("plot-width", 100, "scatter width")
+	plotH := flag.Int("plot-height", 16, "scatter height")
+	noPlot := flag.Bool("no-plot", false, "skip the timeline scatter")
+	hist := flag.String("hist", "", "also print a cost histogram for this fault kind (small|large|merge|hugetlb-large|hugetlb-small)")
+	flag.Parse()
+
+	var kind experiments.ManagerKind
+	switch *manager {
+	case "thp":
+		kind = experiments.THP
+	case "hugetlbfs":
+		kind = experiments.HugeTLBfs
+	default:
+		fmt.Fprintf(os.Stderr, "unknown manager %q (hpmmap takes no faults — nothing to trace)\n", *manager)
+		os.Exit(2)
+	}
+
+	fs, err := experiments.RunFaultStudy(experiments.FaultStudyOptions{
+		Bench: *bench,
+		Kind:  kind,
+		Ranks: *ranks,
+		Seed:  *seed,
+		Scale: experiments.Scale(*scale),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	experiments.WriteFaultStudy(os.Stdout, fs)
+
+	if !*noPlot {
+		for _, row := range fs.Rows {
+			label := "no competition"
+			if row.Loaded {
+				label = "with kernel-build competition"
+			}
+			fmt.Printf("\n--- %s, %s (%d faults) ---\n", *bench, label, row.Recorder.Len())
+			fmt.Print(row.Recorder.Scatter(*plotW, *plotH, true))
+		}
+	}
+
+	if *hist != "" {
+		kindOf := map[string]fault.Kind{
+			"small": fault.KindSmall, "large": fault.KindLarge, "merge": fault.KindMergeBlocked,
+			"hugetlb-large": fault.KindHugeTLBLarge, "hugetlb-small": fault.KindHugeTLBSmall,
+		}
+		k, ok := kindOf[*hist]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown fault kind %q\n", *hist)
+			os.Exit(2)
+		}
+		for _, row := range fs.Rows {
+			label := "no competition"
+			if row.Loaded {
+				label = "with competition"
+			}
+			fmt.Printf("\n--- %s ---\n%s", label, row.Recorder.Histogram(k, 14, 60))
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		for _, row := range fs.Rows {
+			if row.Loaded {
+				if err := row.Recorder.WriteCSV(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

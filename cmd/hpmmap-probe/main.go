@@ -1,0 +1,55 @@
+// Command hpmmap-probe runs one experiment cell and dumps internal
+// diagnostics (residency mix, fault breakdown, manager counters) — a
+// calibration and debugging aid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpmmap/internal/experiments"
+	"hpmmap/internal/fault"
+	"hpmmap/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "HPCCG", "benchmark")
+	kind := flag.Int("kind", 0, "0=THP 1=HugeTLBfs 2=HPMMAP")
+	prof := flag.Int("profile", 1, "0=none 1=A 2=B")
+	ranks := flag.Int("ranks", 8, "ranks")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "bad bench")
+		os.Exit(1)
+	}
+	out, err := experiments.ExecuteSingleNode(experiments.SingleRun{
+		Bench:   spec,
+		Kind:    experiments.ManagerKind(*kind),
+		Profile: experiments.Profile(*prof),
+		Ranks:   *ranks,
+		Seed:    *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("runtime: %.2f s\n", out.RuntimeSec)
+	fmt.Printf("compactions=%d storms=%d stormsHPC=%d merges=%d meanPressure=%.2f\n",
+		out.Compactions, out.ReclaimStorms, out.StormsHPC, out.Merges, out.MeanPressure)
+	for i, rr := range out.Result.Ranks {
+		fmt.Printf("rank %d: runtime=%.2fs faults:", i, 2.2e-9*0+float64(rr.Runtime)/2.2e9)
+		for k := 0; k < fault.NumKinds; k++ {
+			if rr.Faults.Faults[k] > 0 {
+				fmt.Printf(" %s=%d(%.2fs)", fault.Kind(k), rr.Faults.Faults[k], float64(rr.Faults.Cycles[k])/2.2e9)
+			}
+		}
+		fmt.Printf(" stalls=%d\n", rr.Faults.Stalls)
+		if i >= 1 {
+			break
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command hpmmap-report runs the paper's full evaluation and emits a
+// markdown report in the structure of EXPERIMENTS.md: fault-cost tables
+// with paper-versus-measured columns, runtime tables for the scaling
+// studies, and the headline improvement summaries. Use -scale to trade
+// fidelity for time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hpmmap/internal/experiments"
+	"hpmmap/internal/fault"
+)
+
+// The paper's published numbers, for the side-by-side columns.
+var paperFig2 = map[string][2][3]float64{
+	// kind -> [unloaded, loaded] x [count, avg, stdev]
+	"small": {{136004, 1768, 993}, {135987, 2206, 1444}},
+	"large": {{1060, 367675, 65663}, {1060, 757598, 61439}},
+	"merge": {{30, 1005412, 503422}, {45, 3360292, 4017001}},
+}
+
+var paperFig3 = map[string][2][3]float64{
+	"hugetlb-small": {{1310, 1350, 1683}, {1777, 475724, 16387888}},
+	"hugetlb-large": {{84, 735384, 458239}, {75, 615162, 225726}},
+}
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "problem/memory scale")
+	runs := flag.Int("runs", 0, "runs per cell (0 = paper's 10)")
+	seed := flag.Uint64("seed", 0, "base seed")
+	skipFig7 := flag.Bool("skip-fig7", false, "skip the single-node sweep")
+	skipFig8 := flag.Bool("skip-fig8", false, "skip the cluster sweep")
+	flag.Parse()
+	sc := experiments.Scale(*scale)
+
+	fmt.Printf("# HPMMAP reproduction report\n\nGenerated %s at scale %.2f.\n\n",
+		time.Now().Format("2006-01-02 15:04"), *scale)
+
+	section := func(title string) { fmt.Printf("\n## %s\n\n", title) }
+
+	section("Figure 2 — THP fault costs (miniMD)")
+	fs, err := experiments.Fig2(*seed, sc)
+	must(err)
+	faultTable(fs, paperFig2)
+
+	section("Figure 3 — HugeTLBfs fault costs (miniMD)")
+	fs, err = experiments.Fig3(*seed, sc)
+	must(err)
+	faultTable(fs, paperFig3)
+
+	if !*skipFig7 {
+		section("Figure 7 — single-node weak scaling")
+		panels, err := experiments.Fig7(experiments.Fig7Options{Runs: *runs, Seed: *seed, Scale: sc})
+		must(err)
+		experiments.WriteFig7(os.Stdout, panels)
+	}
+	if !*skipFig8 {
+		section("Figure 8 — 8-node scaling study")
+		panels, err := experiments.Fig8(experiments.Fig8Options{Runs: *runs, Seed: *seed, Scale: sc})
+		must(err)
+		experiments.WriteFig8(os.Stdout, panels)
+	}
+
+	section("BSP noise amplification (supplementary)")
+	points, err := experiments.NoiseStudy(experiments.NoiseStudyOptions{Seed: *seed, Scale: sc})
+	must(err)
+	fmt.Println("```")
+	fmt.Print(experiments.WriteNoiseStudy(points))
+	fmt.Println("```")
+}
+
+func faultTable(fs experiments.FaultStudy, paper map[string][2][3]float64) {
+	fmt.Println("| Load | Fault | Paper count | Paper avg | Paper stdev | Measured count | Measured avg | Measured stdev |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for i, row := range fs.Rows {
+		load := "No"
+		if row.Loaded {
+			load = "Yes"
+		}
+		for _, s := range row.Summaries {
+			name := s.Kind.String()
+			p, ok := paper[name]
+			pc := [3]float64{}
+			if ok {
+				pc = p[i]
+			}
+			fmt.Printf("| %s | %s | %.0f | %.0f | %.0f | %d | %.0f | %.0f |\n",
+				load, name, pc[0], pc[1], pc[2], s.Count, s.AvgCycles, s.StdevCycles)
+		}
+	}
+	// Keep the compiler honest about the fault import (kind names).
+	_ = fault.KindSmall
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

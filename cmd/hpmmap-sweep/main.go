@@ -1,0 +1,92 @@
+// Command hpmmap-sweep runs sensitivity sweeps over the simulator's
+// calibrated parameters: it perturbs one model knob across a range and
+// reports how the headline result (HPMMAP's improvement over THP and
+// HugeTLBfs at 8 cores) responds. This is the ablation evidence that the
+// reproduction's conclusions do not hinge on a single lucky constant.
+//
+// Sweepable knobs:
+//
+//	thp-frag        THP fallback sensitivity to pressure x contention
+//	reclaim-prob    per-fault direct-reclaim probability at full pressure
+//	reclaim-tail    Pareto scale of a reclaim stall (cycles)
+//	merge-period    khugepaged scan period (seconds)
+//	store-cycles    page-clear cost per cacheline (cycles)
+//	mem-latency     DRAM latency for page walks (cycles)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpmmap/internal/experiments"
+	"hpmmap/internal/workload"
+)
+
+type knob struct {
+	name   string
+	values []float64
+	apply  func(*experiments.ModelOverrides, float64)
+}
+
+func knobs() []knob {
+	return []knob{
+		{"thp-frag", []float64{0, 0.25, 0.55, 0.9, 1.3}, func(o *experiments.ModelOverrides, v float64) { o.THPFragSensitivity = &v }},
+		{"reclaim-prob", []float64{0, 0.04, 0.08, 0.16, 0.32}, func(o *experiments.ModelOverrides, v float64) { o.ReclaimProbAtFull = &v }},
+		{"reclaim-tail", []float64{4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, func(o *experiments.ModelOverrides, v float64) { o.ReclaimParetoXm = &v }},
+		{"merge-period", []float64{0.5, 1, 3, 10, 30}, func(o *experiments.ModelOverrides, v float64) { o.KhugepagedPeriodSec = &v }},
+		{"store-cycles", []float64{5, 8, 10, 14, 20}, func(o *experiments.ModelOverrides, v float64) { o.StoreCycles = &v }},
+		{"mem-latency", []float64{100, 140, 180, 240, 320}, func(o *experiments.ModelOverrides, v float64) { o.MemLatency = &v }},
+	}
+}
+
+func main() {
+	which := flag.String("knob", "all", "knob to sweep (or 'all')")
+	bench := flag.String("bench", "HPCCG", "benchmark")
+	profile := flag.Int("profile", 2, "commodity profile: 1=A 2=B")
+	runs := flag.Int("runs", 2, "runs per point")
+	scale := flag.Float64("scale", 1.0, "problem scale")
+	seed := flag.Uint64("seed", 4242, "base seed")
+	flag.Parse()
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	prof := experiments.Profile(*profile)
+
+	for _, k := range knobs() {
+		if *which != "all" && *which != k.name {
+			continue
+		}
+		fmt.Printf("=== sweep %s (%s, profile %s, 8 cores) ===\n", k.name, *bench, prof)
+		fmt.Printf("%12s %12s %12s %14s %12s %14s\n",
+			k.name, "hpmmap (s)", "thp (s)", "vs thp", "htlb (s)", "vs hugetlbfs")
+		for _, v := range k.values {
+			var o experiments.ModelOverrides
+			k.apply(&o, v)
+			cell := func(kind experiments.ManagerKind) float64 {
+				var sum float64
+				for r := 0; r < *runs; r++ {
+					out, err := experiments.ExecuteSingleNodeWithOverrides(experiments.SingleRun{
+						Bench: spec, Kind: kind, Profile: prof, Ranks: 8,
+						Seed: *seed + uint64(r)*17, Scale: experiments.Scale(*scale),
+					}, o)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					sum += out.RuntimeSec
+				}
+				return sum / float64(*runs)
+			}
+			hp := cell(experiments.HPMMAP)
+			th := cell(experiments.THP)
+			ht := cell(experiments.HugeTLBfs)
+			fmt.Printf("%12.3g %12.1f %12.1f %+13.1f%% %12.1f %+13.1f%%\n",
+				v, hp, th, 100*(th-hp)/th, ht, 100*(ht-hp)/ht)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,72 @@
+package hpmmap_test
+
+import (
+	"fmt"
+
+	"hpmmap"
+)
+
+// The canonical HPMMAP interaction: a registered process maps a gigabyte
+// through the interposed mmap, gets it eagerly backed with 2MB pages from
+// the offlined pool, and never takes a page fault.
+func Example() {
+	sys, err := hpmmap.New(hpmmap.Config{Manager: hpmmap.ManagerHPMMAP, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	p, err := sys.LaunchHPC("solver")
+	if err != nil {
+		panic(err)
+	}
+	addr, _, err := p.Mmap(1 << 30)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := p.Touch(addr, 1<<30)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("faults=%d large-page-fraction=%.0f%% managed-by=%s\n",
+		rep.Faults, 100*p.LargePageFraction(), p.ManagedBy())
+	// Output: faults=0 large-page-fraction=100% managed-by=hpmmap
+}
+
+// A commodity process on the same node demand-pages through Linux THP:
+// mmap is cheap, the touch pays in the fault handler.
+func Example_commodity() {
+	sys, err := hpmmap.New(hpmmap.Config{Manager: hpmmap.ManagerTHP, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	c, err := sys.LaunchCommodity("postprocess")
+	if err != nil {
+		panic(err)
+	}
+	addr, _, err := c.Mmap(64 << 20)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := c.Touch(addr, 64<<20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("thp-large-faults=%d\n", rep.ByKind["large"])
+	// Output: thp-large-faults=31
+}
+
+// RunBenchmark executes one cell of the paper's Figure 7 study.
+func ExampleRunBenchmark() {
+	res, err := hpmmap.RunBenchmark(hpmmap.BenchmarkOptions{
+		Benchmark: "HPCCG",
+		Manager:   hpmmap.ManagerHPMMAP,
+		Profile:   "A",
+		Ranks:     2,
+		Seed:      7,
+		Scale:     0.25, // quick run: quarter-size problem and machine
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("faults=%d runtime>0=%v\n", res.Faults.Faults, res.RuntimeSeconds > 0)
+	// Output: faults=0 runtime>0=true
+}

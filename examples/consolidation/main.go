@@ -1,0 +1,69 @@
+// Consolidation: the paper's core scenario — an HPC application sharing a
+// node with parallel kernel builds. Runs miniFE at 8 ranks under each
+// memory manager with commodity profile B (two kernel builds) and
+// compares runtimes, fault counts and consistency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hpmmap"
+)
+
+func main() {
+	bench := flag.String("bench", "miniFE", "benchmark to run")
+	ranks := flag.Int("ranks", 8, "application ranks")
+	profile := flag.String("profile", "B", "commodity profile: none|A|B")
+	runs := flag.Int("runs", 3, "repetitions per manager")
+	scale := flag.Float64("scale", 1.0, "problem scale (use 0.25 for a quick look)")
+	flag.Parse()
+
+	fmt.Printf("%s, %d ranks, commodity profile %s, %d runs per manager\n\n",
+		*bench, *ranks, *profile, *runs)
+	fmt.Printf("%-18s %12s %12s %14s %10s\n", "manager", "mean (s)", "stdev (s)", "faults/run", "stalls")
+
+	for _, m := range []hpmmap.Manager{hpmmap.ManagerHPMMAP, hpmmap.ManagerTHP, hpmmap.ManagerHugeTLBfs} {
+		var sum, sumsq float64
+		var faults, stalls uint64
+		for r := 0; r < *runs; r++ {
+			res, err := hpmmap.RunBenchmark(hpmmap.BenchmarkOptions{
+				Benchmark: *bench,
+				Manager:   m,
+				Profile:   *profile,
+				Ranks:     *ranks,
+				Seed:      uint64(1000 + r),
+				Scale:     *scale,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.RuntimeSeconds
+			sumsq += res.RuntimeSeconds * res.RuntimeSeconds
+			faults += res.Faults.Faults
+			stalls += res.Faults.Stalls
+		}
+		n := float64(*runs)
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		fmt.Printf("%-18s %12.1f %12.2f %14d %10d\n",
+			string(m), mean, sqrt(variance), faults/uint64(*runs), stalls/uint64(*runs))
+	}
+	fmt.Println("\nHPMMAP isolates the application from the builds: no faults, no")
+	fmt.Println("reclaim stalls, and run-to-run variance close to zero.")
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 30; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

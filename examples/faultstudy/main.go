@@ -1,0 +1,53 @@
+// Faultstudy: reproduce the paper's fault-cost measurements (Figures 2-3)
+// through the public API: run miniMD at micro fidelity under THP and
+// HugeTLBfs, with and without a kernel build, and print the per-kind
+// fault statistics plus a timeline scatter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"hpmmap"
+)
+
+func main() {
+	bench := flag.String("bench", "miniMD", "benchmark")
+	scale := flag.Float64("scale", 1.0, "problem scale (0.25 for a quick look)")
+	flag.Parse()
+
+	for _, m := range []hpmmap.Manager{hpmmap.ManagerTHP, hpmmap.ManagerHugeTLBfs} {
+		fmt.Printf("=== %s under %s ===\n", *bench, m)
+		rows, err := hpmmap.RunFaultStudy(*bench, m, 7, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %-16s %10s %14s %14s\n", "load", "kind", "count", "avg cycles", "stdev")
+		for _, row := range rows {
+			load := "no"
+			if row.Loaded {
+				load = "yes"
+			}
+			var kinds []string
+			for k := range row.Kinds {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			for _, k := range kinds {
+				s := row.Kinds[k]
+				fmt.Printf("%-6s %-16s %10d %14.0f %14.0f\n", load, k, s.Count, s.AvgCycles, s.StdevCycles)
+				load = ""
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== fault timeline, miniMD under THP with competition ===")
+	plot, err := hpmmap.Timeline(*bench, hpmmap.ManagerTHP, true, 7, *scale, 90, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plot)
+}

@@ -1,0 +1,61 @@
+// Quickstart: boot a simulated node with the HPMMAP module loaded, launch
+// a registered HPC process and an ordinary commodity process, and watch
+// the difference between on-request allocation (zero faults, all 2MB
+// pages) and Linux demand paging.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpmmap"
+)
+
+func main() {
+	sys, err := hpmmap.New(hpmmap.Config{Manager: hpmmap.ManagerHPMMAP, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node up: %d GB visible to Linux, %d GB in the HPMMAP pool\n\n",
+		sys.FreeMemory()>>30, sys.PoolFree()>>30)
+
+	// A registered HPC process: every memory system call is interposed.
+	hpc, err := sys.LaunchHPC("solver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("launched %q (pid %d), managed by %q\n", "solver", hpc.PID(), hpc.ManagedBy())
+
+	addr, cost, err := hpc.Mmap(1 << 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mmap(1GB): backed eagerly in %d simulated cycles\n", cost)
+
+	rep, err := hpc.Touch(addr, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first touch of the full GB: %d page faults (on-request allocation)\n", rep.Faults)
+	fmt.Printf("large-page fraction of resident set: %.0f%%\n\n", 100*hpc.LargePageFraction())
+
+	// An unregistered commodity process demand-pages through Linux THP.
+	com, err := sys.LaunchCommodity("postprocessor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	caddr, _, err := com.Mmap(1 << 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crep, err := com.Touch(caddr, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the commodity process touching 1GB: %d faults (%d THP large, %d small)\n",
+		crep.Faults, crep.ByKind["large"], crep.ByKind["small"])
+
+	hpc.Exit()
+	com.Exit()
+	fmt.Printf("\nafter exit, pool restored: %d GB free\n", sys.PoolFree()>>30)
+}

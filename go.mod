@@ -1,0 +1,3 @@
+module hpmmap
+
+go 1.22

@@ -1,0 +1,320 @@
+// Package hpmmap is the public API of the HPMMAP reproduction: a
+// simulation of the lightweight memory-management architecture from
+// "HPMMAP: Lightweight Memory Management for Commodity Operating Systems"
+// (Kocoloski & Lange, IPDPS 2014), together with the commodity baselines
+// it was evaluated against (Transparent Huge Pages and HugeTLBfs) and the
+// paper's full experimental harness.
+//
+// A System is one simulated compute node: cores, NUMA memory, a Linux
+// memory-management model, and optionally the HPMMAP kernel module with
+// its offlined memory pool. Processes launched through the HPMMAP tool
+// are registered in its PID table and get eagerly backed, large-page
+// mapped, isolated memory; everything else demand-pages through Linux.
+//
+//	sys, _ := hpmmap.New(hpmmap.Config{Manager: hpmmap.ManagerHPMMAP})
+//	p, _ := sys.LaunchHPC("solver")
+//	addr, _, _ := p.Mmap(1 << 30)
+//	rep, _ := p.Touch(addr, 1<<30) // rep.Faults == 0: on-request allocation
+//
+// The experiment harness behind `hpmmap-bench` is exposed through
+// RunBenchmark, RunClusterBenchmark and RunFaultStudy.
+package hpmmap
+
+import (
+	"fmt"
+
+	"hpmmap/internal/core"
+	"hpmmap/internal/fault"
+	"hpmmap/internal/hugetlb"
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/linuxmm"
+	"hpmmap/internal/pgtable"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/thp"
+	"hpmmap/internal/vma"
+	"hpmmap/internal/workload"
+)
+
+// Manager selects the memory-management configuration of a System.
+type Manager string
+
+// The paper's three configurations.
+const (
+	// ManagerTHP: Linux with Transparent Huge Pages for every process.
+	ManagerTHP Manager = "thp"
+	// ManagerHugeTLBfs: the HPC side uses a preallocated hugetlbfs pool
+	// via libhugetlbfs; THP is disabled.
+	ManagerHugeTLBfs Manager = "hugetlbfs"
+	// ManagerHPMMAP: the HPMMAP module is loaded with an offlined pool;
+	// commodity processes stay on Linux THP.
+	ManagerHPMMAP Manager = "hpmmap"
+)
+
+// Config describes a simulated node.
+type Config struct {
+	// Machine preset: "dell-r415" (default; the paper's single-node
+	// testbed) or "sandia-xeon" (one node of the 8-node cluster).
+	Machine string
+	// Manager configuration; default ManagerHPMMAP.
+	Manager Manager
+	// PoolBytes is the memory offlined for HPMMAP or reserved for
+	// hugetlbfs. Default: the paper's values (12GB single node, 20GB
+	// cluster node).
+	PoolBytes uint64
+	// Seed makes the simulation deterministic; same seed, same run.
+	Seed uint64
+	// Detail enables micro fidelity: per-fault records and real page
+	// tables (slower; used for fault studies).
+	Detail bool
+}
+
+// System is one simulated node.
+type System struct {
+	eng    *sim.Engine
+	node   *kernel.Node
+	mm     *linuxmm.Manager
+	hp     *core.Manager
+	daemon *thp.Daemon
+	mgr    Manager
+}
+
+// New boots a node.
+func New(cfg Config) (*System, error) {
+	var mc kernel.MachineConfig
+	switch cfg.Machine {
+	case "", "dell-r415":
+		mc = kernel.DellR415()
+	case "sandia-xeon":
+		mc = kernel.SandiaXeon()
+	default:
+		return nil, fmt.Errorf("hpmmap: unknown machine preset %q", cfg.Machine)
+	}
+	if cfg.Manager == "" {
+		cfg.Manager = ManagerHPMMAP
+	}
+	if cfg.PoolBytes == 0 {
+		cfg.PoolBytes = 12 << 30
+		if mc.MemoryBytes >= 24<<30 {
+			cfg.PoolBytes = 20 << 30
+		}
+	}
+	eng := sim.NewEngine()
+	node := kernel.NewNode(mc, eng, sim.NewRand(cfg.Seed))
+	node.Detail = cfg.Detail
+	s := &System{eng: eng, node: node, mgr: cfg.Manager}
+	switch cfg.Manager {
+	case ManagerTHP:
+		s.mm = linuxmm.New(node, linuxmm.ModeTHP, linuxmm.ModeTHP, nil)
+		node.SetDefaultMM(s.mm)
+		s.daemon = thp.Start(node, s.mm)
+	case ManagerHugeTLBfs:
+		pools, err := hugetlb.Reserve(node.Mem, cfg.PoolBytes)
+		if err != nil {
+			return nil, err
+		}
+		node.SetReservedBytes(cfg.PoolBytes)
+		s.mm = linuxmm.New(node, linuxmm.ModeHugeTLB, linuxmm.Mode4KOnly, pools)
+		node.SetDefaultMM(s.mm)
+	case ManagerHPMMAP:
+		s.mm = linuxmm.New(node, linuxmm.ModeTHP, linuxmm.ModeTHP, nil)
+		node.SetDefaultMM(s.mm)
+		s.daemon = thp.Start(node, s.mm)
+		hp, err := core.Install(node, cfg.PoolBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.hp = hp
+	default:
+		return nil, fmt.Errorf("hpmmap: unknown manager %q", cfg.Manager)
+	}
+	return s, nil
+}
+
+// Manager reports the active configuration.
+func (s *System) Manager() Manager { return s.mgr }
+
+// SetUse1GPages switches HPMMAP to 1GB pages for gigabyte-scale regions
+// (no effect under other managers).
+func (s *System) SetUse1GPages(v bool) {
+	if s.hp != nil {
+		s.hp.Use1GPages = v
+	}
+}
+
+// Advance runs the simulation forward by the given number of seconds of
+// simulated time (background daemons, builds and processes all progress).
+func (s *System) Advance(seconds float64) {
+	s.eng.RunUntil(s.eng.Now() + sim.Cycles(s.node.Config().Cycles(seconds)))
+}
+
+// Now returns the simulated time in seconds since boot.
+func (s *System) Now() float64 {
+	return s.node.Config().Seconds(float64(s.eng.Now()))
+}
+
+// FreeMemory returns the bytes Linux's allocator has free (offlined and
+// reserved memory excluded).
+func (s *System) FreeMemory() uint64 {
+	return s.node.Mem.FreePages() * 4096
+}
+
+// PoolFree returns the free bytes in HPMMAP's offlined pool (zero for
+// other managers).
+func (s *System) PoolFree() uint64 {
+	if s.hp == nil {
+		return 0
+	}
+	return s.hp.PoolFreeBytes()
+}
+
+// LaunchHPC starts an HPC process. Under ManagerHPMMAP it goes through
+// the registration launch tool (so its memory calls are interposed);
+// otherwise it is an ordinary Linux process using the HPC-side policy.
+func (s *System) LaunchHPC(name string) (*Process, error) {
+	var p *kernel.Process
+	var err error
+	if s.hp != nil {
+		p, err = s.hp.Launch(name, 0)
+	} else {
+		p, err = s.node.NewProcess(name, false, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Process{sys: s, p: p}, nil
+}
+
+// LaunchCommodity starts a commodity process (always Linux-managed).
+func (s *System) LaunchCommodity(name string) (*Process, error) {
+	p, err := s.node.NewProcess(name, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{sys: s, p: p}, nil
+}
+
+// StartKernelBuild launches a parallel kernel build (the paper's
+// interference workload) with the given -j level. Call Stop on the result
+// to end it.
+func (s *System) StartKernelBuild(jobs int) *Build {
+	b := workload.StartBuild(s.node, workload.KernelBuild(jobs), s.node.Rand().Uint64())
+	return &Build{b: b}
+}
+
+// Build is a running kernel build.
+type Build struct{ b *workload.Build }
+
+// Stop halts the build.
+func (b *Build) Stop() { b.b.Stop() }
+
+// Compiles reports completed compilation units.
+func (b *Build) Compiles() uint64 { return b.b.Compiles }
+
+// StartAnalytics launches an in-situ analytics/visualization consumer —
+// the paper's motivating co-location scenario: every few seconds it
+// ingests a multi-GB snapshot of simulation output, crunches it with
+// bandwidth-heavy compute, and emits results to the page cache.
+func (s *System) StartAnalytics() *Analytics {
+	a := workload.StartAnalytics(s.node, workload.VizPipeline(), s.node.Rand().Uint64())
+	return &Analytics{a: a}
+}
+
+// Analytics is a running in-situ consumer.
+type Analytics struct{ a *workload.Analytics }
+
+// Stop halts the consumer.
+func (a *Analytics) Stop() { a.a.Stop() }
+
+// Passes reports completed analysis passes.
+func (a *Analytics) Passes() uint64 { return a.a.Passes }
+
+// Process is one simulated process.
+type Process struct {
+	sys *System
+	p   *kernel.Process
+}
+
+// PID returns the process ID.
+func (p *Process) PID() int { return p.p.PID }
+
+// ManagedBy reports which memory manager serves this process's memory
+// system calls right now.
+func (p *Process) ManagedBy() string { return p.sys.node.ManagerNameFor(p.p) }
+
+// Mmap creates an anonymous mapping and returns its address and the
+// simulated cycles the call took. Under HPMMAP the region is backed
+// eagerly (on-request allocation), so the cost covers zeroing it.
+func (p *Process) Mmap(bytes uint64) (uint64, uint64, error) {
+	addr, cost, err := p.sys.node.Mmap(p.p, bytes, pgtable.ProtRead|pgtable.ProtWrite, vma.KindAnon)
+	return uint64(addr), uint64(cost), err
+}
+
+// Munmap removes a mapping created by Mmap.
+func (p *Process) Munmap(addr, bytes uint64) error {
+	_, err := p.sys.node.Munmap(p.p, pgtable.VirtAddr(addr), bytes)
+	return err
+}
+
+// FaultReport summarizes the faults taken by one Touch.
+type FaultReport struct {
+	// Faults is the total count; Cycles the total service time.
+	Faults uint64
+	Cycles uint64
+	// ByKind maps fault kind names ("small", "large", "merge",
+	// "hugetlb-large", "hugetlb-small") to counts.
+	ByKind map[string]uint64
+	// Stalls counts reclaim storms and merge waits.
+	Stalls uint64
+}
+
+// Touch simulates the process accessing [addr, addr+bytes) for the first
+// time, demand-paging as the active manager dictates. HPMMAP processes
+// take zero faults on valid ranges.
+func (p *Process) Touch(addr, bytes uint64) (FaultReport, error) {
+	st, err := p.sys.node.TouchRange(p.p, pgtable.VirtAddr(addr), bytes)
+	if err != nil {
+		return FaultReport{}, err
+	}
+	return reportOf(st), nil
+}
+
+func reportOf(st kernel.TouchStats) FaultReport {
+	rep := FaultReport{ByKind: map[string]uint64{}, Stalls: st.Stalls}
+	for k := 0; k < fault.NumKinds; k++ {
+		if st.Faults[k] == 0 {
+			continue
+		}
+		rep.ByKind[fault.Kind(k).String()] = st.Faults[k]
+		rep.Faults += st.Faults[k]
+		rep.Cycles += uint64(st.Cycles[k])
+	}
+	return rep
+}
+
+// FaultTotals returns the process's lifetime fault report.
+func (p *Process) FaultTotals() FaultReport { return reportOf(p.p.Faults) }
+
+// Resident returns (small-page bytes, large-page bytes) currently backing
+// the process.
+func (p *Process) Resident() (small, large uint64) {
+	return p.p.ResidentSmall, p.p.ResidentLarge
+}
+
+// LargePageFraction reports how much of the resident set is 2MB-mapped.
+func (p *Process) LargePageFraction() float64 { return p.p.LargeFraction() }
+
+// MlockAll pins the process's resident set (the mlockall system call).
+// Under Linux THP this splits every large page into pinned small pages —
+// the paper's Section II-B pitfall; under HPMMAP memory is unswappable
+// already and the call is a cheap no-op.
+func (p *Process) MlockAll() error {
+	if p.sys.node.ManagerNameFor(p.p) == "hpmmap" {
+		return nil // offlined memory never swaps
+	}
+	_, err := p.sys.mm.MlockAll(p.p)
+	return err
+}
+
+// Exit terminates the process, releasing all memory (and, under HPMMAP,
+// its registry entry).
+func (p *Process) Exit() { p.sys.node.Exit(p.p) }

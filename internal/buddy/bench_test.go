@@ -1,0 +1,45 @@
+package buddy
+
+import "testing"
+
+func BenchmarkAllocFree2M(b *testing.B) {
+	a := New(2 << 20)
+	if err := a.AddRegion(0, 12<<30); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr, size, err := a.Alloc(2 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Free(addr, size)
+	}
+}
+
+func BenchmarkAllocChurn(b *testing.B) {
+	// Mixed sizes with a working set, the HPMMAP syscall pattern.
+	a := New(2 << 20)
+	if err := a.AddRegion(0, 2<<30); err != nil {
+		b.Fatal(err)
+	}
+	type blk struct{ addr, size uint64 }
+	var live []blk
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 256 {
+			v := live[0]
+			live = live[1:]
+			a.Free(v.addr, v.size)
+		}
+		addr, size, err := a.Alloc(uint64(2+(i%8)*2) << 20)
+		if err != nil {
+			for _, v := range live {
+				a.Free(v.addr, v.size)
+			}
+			live = live[:0]
+			continue
+		}
+		live = append(live, blk{addr, size})
+	}
+}

@@ -1,0 +1,274 @@
+// Package buddy implements a binary buddy allocator in the style of the
+// Kitten lightweight kernel. HPMMAP uses it to manage memory that has been
+// hot-removed (offlined) from Linux: the allocator is seeded with the
+// offlined extents and hands out power-of-two blocks, 2MB large pages
+// being the fundamental unit of allocation.
+package buddy
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Allocator manages one or more physically contiguous regions with a
+// binary buddy scheme. The zero value is not usable; call New.
+type Allocator struct {
+	minShift uint // log2 of the minimum block size
+	regions  []*region
+
+	total uint64 // managed bytes
+	free  uint64 // free bytes
+
+	// Statistics.
+	Allocs, Frees, Splits, Merges, Failures uint64
+}
+
+// region is a contiguous managed range [base, base+size).
+type region struct {
+	base, size uint64
+	// free[o] holds base-relative offsets of free blocks of size
+	// minBlock<<o. Offsets (not absolute addresses) keep the buddy XOR
+	// arithmetic independent of where the extent sits in physical memory.
+	free []map[uint64]struct{}
+	// order of the largest block this region can hold.
+	maxOrder int
+	// stack[o] gives deterministic LIFO pop order per order.
+	stack [][]uint64
+}
+
+// New returns an allocator whose minimum block size is minBlock (a power
+// of two; HPMMAP uses 2MB).
+func New(minBlock uint64) *Allocator {
+	if minBlock == 0 || minBlock&(minBlock-1) != 0 {
+		panic(fmt.Sprintf("buddy: min block %d not a power of two", minBlock))
+	}
+	return &Allocator{minShift: uint(bits.TrailingZeros64(minBlock))}
+}
+
+// MinBlock returns the minimum allocation size.
+func (a *Allocator) MinBlock() uint64 { return 1 << a.minShift }
+
+// TotalBytes returns the managed pool size.
+func (a *Allocator) TotalBytes() uint64 { return a.total }
+
+// FreeBytes returns the currently free pool size.
+func (a *Allocator) FreeBytes() uint64 { return a.free }
+
+// AddRegion donates [base, base+size) to the allocator. base and size must
+// be multiples of the minimum block size. Contiguous with an existing
+// region or not, the range is managed as its own buddy arena.
+func (a *Allocator) AddRegion(base, size uint64) error {
+	min := a.MinBlock()
+	if size == 0 {
+		return nil
+	}
+	if base%min != 0 || size%min != 0 {
+		return fmt.Errorf("buddy: region [%#x,+%#x) not aligned to min block %#x", base, size, min)
+	}
+	for _, r := range a.regions {
+		if base < r.base+r.size && r.base < base+size {
+			return fmt.Errorf("buddy: region [%#x,+%#x) overlaps existing [%#x,+%#x)", base, size, r.base, r.size)
+		}
+	}
+	blocks := size >> a.minShift
+	maxOrder := bits.Len64(blocks) - 1
+	r := &region{base: base, size: size, maxOrder: maxOrder}
+	r.free = make([]map[uint64]struct{}, maxOrder+1)
+	r.stack = make([][]uint64, maxOrder+1)
+	for o := range r.free {
+		r.free[o] = make(map[uint64]struct{})
+	}
+	// Seed with the greedy aligned decomposition of the range.
+	off := uint64(0)
+	for off < size {
+		o := maxOrder
+		for o > 0 {
+			bs := min << uint(o)
+			if off%bs == 0 && off+bs <= size {
+				break
+			}
+			o--
+		}
+		r.push(o, off)
+		off += min << uint(o)
+	}
+	a.regions = append(a.regions, r)
+	a.total += size
+	a.free += size
+	return nil
+}
+
+func (r *region) push(order int, off uint64) {
+	if _, dup := r.free[order][off]; dup {
+		panic("buddy: double push")
+	}
+	r.free[order][off] = struct{}{}
+	r.stack[order] = append(r.stack[order], off)
+}
+
+// pop returns a free block of exactly the given order.
+func (r *region) pop(order int) (uint64, bool) {
+	s := r.stack[order]
+	// The stack may contain offsets that were removed out-of-band during
+	// coalescing; skip them lazily.
+	for len(s) > 0 {
+		off := s[len(s)-1]
+		s = s[:len(s)-1]
+		if _, ok := r.free[order][off]; ok {
+			r.stack[order] = s
+			delete(r.free[order], off)
+			return off, true
+		}
+	}
+	r.stack[order] = s
+	return 0, false
+}
+
+// take removes a specific free block, returning false if absent.
+func (r *region) take(order int, off uint64) bool {
+	if _, ok := r.free[order][off]; !ok {
+		return false
+	}
+	delete(r.free[order], off)
+	return true
+}
+
+// orderFor returns the smallest order whose block size fits size bytes.
+func (a *Allocator) orderFor(size uint64) int {
+	min := a.MinBlock()
+	o := 0
+	for min<<uint(o) < size {
+		o++
+	}
+	return o
+}
+
+// BlockSize returns the actual allocation size for a request of size
+// bytes: the request rounded up to the next power-of-two multiple of the
+// minimum block.
+func (a *Allocator) BlockSize(size uint64) uint64 {
+	return a.MinBlock() << uint(a.orderFor(size))
+}
+
+// Alloc returns the physical base address of a free block of at least size
+// bytes (rounded up to a power-of-two block). The second result is the
+// actual block size.
+func (a *Allocator) Alloc(size uint64) (uint64, uint64, error) {
+	if size == 0 {
+		return 0, 0, fmt.Errorf("buddy: Alloc(0)")
+	}
+	want := a.orderFor(size)
+	for _, r := range a.regions {
+		if want > r.maxOrder {
+			continue
+		}
+		for o := want; o <= r.maxOrder; o++ {
+			off, ok := r.pop(o)
+			if !ok {
+				continue
+			}
+			for o > want {
+				o--
+				a.Splits++
+				r.push(o, off+(a.MinBlock()<<uint(o)))
+			}
+			bs := a.MinBlock() << uint(want)
+			a.free -= bs
+			a.Allocs++
+			return r.base + off, bs, nil
+		}
+	}
+	a.Failures++
+	return 0, 0, fmt.Errorf("buddy: out of memory for %d-byte block (free %d)", a.BlockSize(size), a.free)
+}
+
+// Free returns a block previously obtained from Alloc. size must be the
+// block size Alloc returned.
+func (a *Allocator) Free(addr, size uint64) {
+	r := a.regionOf(addr)
+	if r == nil {
+		panic(fmt.Sprintf("buddy: Free(%#x) outside all regions", addr))
+	}
+	order := a.orderFor(size)
+	if a.MinBlock()<<uint(order) != size {
+		panic(fmt.Sprintf("buddy: Free size %#x is not a block size", size))
+	}
+	off := addr - r.base
+	if off%size != 0 {
+		panic(fmt.Sprintf("buddy: Free(%#x) misaligned for size %#x", addr, size))
+	}
+	a.Frees++
+	a.free += size
+	for order < r.maxOrder {
+		bs := a.MinBlock() << uint(order)
+		buddy := off ^ bs
+		if buddy+bs > r.size || !r.take(order, buddy) {
+			break
+		}
+		a.Merges++
+		if buddy < off {
+			off = buddy
+		}
+		order++
+	}
+	r.push(order, off)
+}
+
+func (a *Allocator) regionOf(addr uint64) *region {
+	for _, r := range a.regions {
+		if addr >= r.base && addr < r.base+r.size {
+			return r
+		}
+	}
+	return nil
+}
+
+// Owns reports whether addr falls inside the managed pool.
+func (a *Allocator) Owns(addr uint64) bool { return a.regionOf(addr) != nil }
+
+// LargestFreeBlock returns the size of the largest currently free block.
+func (a *Allocator) LargestFreeBlock() uint64 {
+	var best uint64
+	for _, r := range a.regions {
+		for o := r.maxOrder; o >= 0; o-- {
+			if len(r.free[o]) > 0 {
+				if bs := a.MinBlock() << uint(o); bs > best {
+					best = bs
+				}
+				break
+			}
+		}
+	}
+	return best
+}
+
+// CheckInvariants validates the allocator's internal consistency. Exported
+// for tests and debugging assertions.
+func (a *Allocator) CheckInvariants() error {
+	var free uint64
+	for _, r := range a.regions {
+		covered := make(map[uint64]int)
+		for o := 0; o <= r.maxOrder; o++ {
+			bs := a.MinBlock() << uint(o)
+			for off := range r.free[o] {
+				if off%bs != 0 {
+					return fmt.Errorf("buddy: free block %#x misaligned for order %d", off, o)
+				}
+				if off+bs > r.size {
+					return fmt.Errorf("buddy: free block %#x order %d exceeds region", off, o)
+				}
+				for b := uint64(0); b < bs; b += a.MinBlock() {
+					if prev, dup := covered[off+b]; dup {
+						return fmt.Errorf("buddy: unit %#x free twice (orders %d, %d)", off+b, prev, o)
+					}
+					covered[off+b] = o
+				}
+				free += bs
+			}
+		}
+	}
+	if free != a.free {
+		return fmt.Errorf("buddy: free accounting %d != lists %d", a.free, free)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package cluster models the multi-node layer of the scaling study: a set
+// of nodes joined by a gigabit-Ethernet network, and the communication
+// cost model for bulk-synchronous MPI applications (nearest-neighbour
+// halo exchange plus collectives). The network is the paper's 1GbE
+// testbed constraint — the reason the benchmarks "do not scale
+// particularly well from 1 to 2 nodes".
+package cluster
+
+import (
+	"fmt"
+
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/workload"
+)
+
+// NetworkConfig describes the interconnect.
+type NetworkConfig struct {
+	// BandwidthBytesPerSec is the NIC line rate (shared by all ranks on a
+	// node).
+	BandwidthBytesPerSec float64
+	// LatencySec is the per-message one-way latency (switch + stack).
+	LatencySec float64
+	// Jitter is the relative variation applied to each exchange.
+	Jitter float64
+}
+
+// GigE returns the testbed's 1Gbit Ethernet.
+func GigE() NetworkConfig {
+	return NetworkConfig{
+		BandwidthBytesPerSec: 125e6, // 1 Gbit/s
+		LatencySec:           60e-6, // ~60us one-way through the switch
+		Jitter:               0.15,
+	}
+}
+
+// Cluster is a set of nodes sharing one simulation engine.
+type Cluster struct {
+	Eng   *sim.Engine
+	Nodes []*kernel.Node
+	Net   NetworkConfig
+	rand  *sim.Rand
+}
+
+// New builds a cluster of n nodes created by mkNode (which must attach
+// each node to the shared engine).
+func New(eng *sim.Engine, n int, net NetworkConfig, seed uint64, mkNode func(i int) *kernel.Node) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	c := &Cluster{Eng: eng, Net: net, rand: sim.NewRand(seed)}
+	for i := 0; i < n; i++ {
+		node := mkNode(i)
+		if node == nil {
+			return nil, fmt.Errorf("cluster: mkNode(%d) returned nil", i)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c, nil
+}
+
+// Placement maps ranks onto nodes/cores: rank i runs on node i/perNode,
+// core list supplied per node.
+type Placement struct {
+	NodeOf []int // rank -> node index
+	CoreOf []int // rank -> core id on that node
+}
+
+// BlockPlacement fills nodes in order, ranksPerNode ranks each, using the
+// given cores on every node.
+func BlockPlacement(ranks, ranksPerNode int, cores []int) (Placement, error) {
+	if ranksPerNode <= 0 || len(cores) < ranksPerNode {
+		return Placement{}, fmt.Errorf("cluster: need %d cores per node, have %d", ranksPerNode, len(cores))
+	}
+	p := Placement{NodeOf: make([]int, ranks), CoreOf: make([]int, ranks)}
+	for r := 0; r < ranks; r++ {
+		p.NodeOf[r] = r / ranksPerNode
+		p.CoreOf[r] = cores[r%ranksPerNode]
+	}
+	return p, nil
+}
+
+// NumNodes returns how many nodes the placement uses.
+func (p Placement) NumNodes() int {
+	max := 0
+	for _, n := range p.NodeOf {
+		if n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+// CommDelay returns the per-iteration communication cost function for an
+// application with the given spec and placement: a 1-D nearest-neighbour
+// halo exchange plus a tree allreduce. All times are cycles at the node's
+// clock.
+func (c *Cluster) CommDelay(spec workload.AppSpec, p Placement) func(iter, rank int) sim.Cycles {
+	nodesUsed := p.NumNodes()
+	hz := c.Nodes[0].Config().ClockHz
+	// Count the ranks per node that cross the wire, to share the NIC.
+	crossing := make([]int, nodesUsed)
+	ranks := len(p.NodeOf)
+	for r := 0; r < ranks; r++ {
+		for _, nb := range []int{r - 1, r + 1} {
+			if nb >= 0 && nb < ranks && p.NodeOf[nb] != p.NodeOf[r] {
+				crossing[p.NodeOf[r]]++
+				break
+			}
+		}
+	}
+	return func(iter, rank int) sim.Cycles {
+		if nodesUsed == 1 {
+			// Shared-memory exchange: microseconds, absorbed in compute.
+			return 0
+		}
+		var sec float64
+		// Halo exchange with both neighbours.
+		for _, nb := range []int{rank - 1, rank + 1} {
+			if nb < 0 || nb >= ranks {
+				continue
+			}
+			if p.NodeOf[nb] == p.NodeOf[rank] {
+				continue // on-node neighbour: shared memory
+			}
+			share := crossing[p.NodeOf[rank]]
+			if share < 1 {
+				share = 1
+			}
+			bw := c.Net.BandwidthBytesPerSec / float64(share)
+			sec += c.Net.LatencySec + float64(spec.CommBytesPerIter)/bw
+		}
+		// Collectives: log2(nodes) stages of small messages.
+		stages := 0
+		for n := nodesUsed; n > 1; n >>= 1 {
+			stages++
+		}
+		sec += spec.CollectiveFactor * float64(stages) * 2 * c.Net.LatencySec
+		cycles := sim.Cycles(sec * hz)
+		return c.rand.Jitter(cycles, c.Net.Jitter)
+	}
+}
+
+// Placements converts a Placement into workload rank placements using the
+// given launcher factory (one launcher per node, since HPMMAP modules are
+// per node).
+func (c *Cluster) Placements(p Placement, launcher func(node int) workload.Launcher) []workload.RankPlacement {
+	out := make([]workload.RankPlacement, len(p.NodeOf))
+	for r := range p.NodeOf {
+		out[r] = workload.RankPlacement{
+			Node:   c.Nodes[p.NodeOf[r]],
+			Core:   p.CoreOf[r],
+			Launch: launcher(p.NodeOf[r]),
+		}
+	}
+	return out
+}

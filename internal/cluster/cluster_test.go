@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/linuxmm"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/workload"
+)
+
+func newTestCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := New(eng, n, GigE(), 1, func(i int) *kernel.Node {
+		node := kernel.NewNode(kernel.SandiaXeon(), eng, sim.NewRand(uint64(i)+1))
+		node.SetDefaultMM(linuxmm.New(node, linuxmm.ModeTHP, linuxmm.ModeTHP, nil))
+		return node
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(eng, 0, GigE(), 1, nil); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := New(eng, 1, GigE(), 1, func(int) *kernel.Node { return nil }); err == nil {
+		t.Fatal("nil node accepted")
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	p, err := BlockPlacement(8, 4, []int{0, 1, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 2 {
+		t.Fatalf("nodes %d", p.NumNodes())
+	}
+	if p.NodeOf[0] != 0 || p.NodeOf[4] != 1 || p.NodeOf[7] != 1 {
+		t.Fatalf("node mapping %v", p.NodeOf)
+	}
+	if p.CoreOf[0] != 0 || p.CoreOf[3] != 5 || p.CoreOf[5] != 1 {
+		t.Fatalf("core mapping %v", p.CoreOf)
+	}
+	if _, err := BlockPlacement(8, 4, []int{0, 1}); err == nil {
+		t.Fatal("insufficient cores accepted")
+	}
+}
+
+func TestCommDelaySingleNodeIsFree(t *testing.T) {
+	c := newTestCluster(t, 1)
+	p, _ := BlockPlacement(4, 4, []int{0, 1, 4, 5})
+	delay := c.CommDelay(workload.HPCCG(), p)
+	for r := 0; r < 4; r++ {
+		if d := delay(0, r); d != 0 {
+			t.Fatalf("single-node rank %d comm delay %d", r, d)
+		}
+	}
+}
+
+func TestCommDelayCrossNode(t *testing.T) {
+	c := newTestCluster(t, 2)
+	p, _ := BlockPlacement(8, 4, []int{0, 1, 4, 5})
+	delay := c.CommDelay(workload.HPCCG(), p)
+	// Rank 3 (node 0) talks to rank 4 (node 1): crosses the wire.
+	edge := delay(0, 3)
+	if edge == 0 {
+		t.Fatal("cross-node exchange free")
+	}
+	// Rank 1's neighbours are on the same node: only collectives remain.
+	inner := delay(0, 1)
+	if inner >= edge {
+		t.Fatalf("interior rank (%d) pays as much as edge rank (%d)", inner, edge)
+	}
+	// A 2MB halo at a shared gigabit NIC is tens of milliseconds.
+	hz := c.Nodes[0].Config().ClockHz
+	sec := float64(edge) / hz
+	if sec < 1e-3 || sec > 0.3 {
+		t.Fatalf("edge comm %.4fs out of the 1GbE ballpark", sec)
+	}
+}
+
+func TestCommDelayGrowsWithNodes(t *testing.T) {
+	c2 := newTestCluster(t, 2)
+	c8 := newTestCluster(t, 8)
+	p2, _ := BlockPlacement(8, 4, []int{0, 1, 4, 5})
+	p8, _ := BlockPlacement(32, 4, []int{0, 1, 4, 5})
+	// Collectives cost more at 8 nodes than 2 (more tree stages).
+	var sum2, sum8 sim.Cycles
+	for i := 0; i < 50; i++ {
+		sum2 += c2.CommDelay(workload.HPCCG(), p2)(i, 3)
+		sum8 += c8.CommDelay(workload.HPCCG(), p8)(i, 3)
+	}
+	if sum8 <= sum2 {
+		t.Fatalf("8-node comm %d not above 2-node %d", sum8, sum2)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	c := newTestCluster(t, 2)
+	p, _ := BlockPlacement(8, 4, []int{0, 1, 4, 5})
+	pls := c.Placements(p, func(n int) workload.Launcher {
+		node := c.Nodes[n]
+		return func(name string, zone int) (*kernel.Process, error) {
+			return node.NewProcess(name, false, zone)
+		}
+	})
+	if len(pls) != 8 {
+		t.Fatalf("%d placements", len(pls))
+	}
+	if pls[0].Node != c.Nodes[0] || pls[7].Node != c.Nodes[1] {
+		t.Fatal("placement node mapping wrong")
+	}
+	proc, err := pls[5].Launch("x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[1].Process(proc.PID) != proc {
+		t.Fatal("launcher created process on wrong node")
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpmmap/internal/sim"
+	"hpmmap/internal/workload"
+)
+
+// Noise-injection study, after Ferreira/Bridges/Brightwell (SC'08), the
+// methodology behind the paper's OS-noise argument: inject synthetic
+// detours of a fixed duration into ranks of a bulk-synchronous
+// application and measure how the slowdown amplifies with rank count.
+// khugepaged's unsynchronized merges are exactly such a noise source;
+// this study isolates the amplification mechanism from the memory system
+// by running under HPMMAP (no faults, no merges) and injecting noise
+// explicitly.
+
+// NoisePoint is one rank count's measurement.
+type NoisePoint struct {
+	Ranks int
+	// BaseSec is the noise-free runtime; NoisySec with injection.
+	BaseSec, NoisySec float64
+	// SlowdownSec is the absolute cost of the injected noise.
+	SlowdownSec float64
+	// Amplification is SlowdownSec divided by the expected single-rank
+	// noise cost — 1.0 means no amplification; the BSP bound for
+	// per-iteration Bernoulli noise at probability p approaches
+	// (1-(1-p)^ranks)/p as ranks grow.
+	Amplification float64
+}
+
+// NoiseStudyOptions configures the injection.
+type NoiseStudyOptions struct {
+	// Prob is the per-rank, per-iteration probability of a noise event.
+	Prob float64
+	// DurationCycles is the detour length (the paper's merges hold the mm
+	// lock for ~1–3M cycles).
+	DurationCycles sim.Cycles
+	RankCounts     []int
+	Seed           uint64
+	Scale          Scale
+}
+
+func (o *NoiseStudyOptions) defaults() {
+	if o.Prob == 0 {
+		o.Prob = 0.15
+	}
+	if o.DurationCycles == 0 {
+		// Default detours sit well above the scheduler's natural jitter,
+		// like the coarse noise settings of the SC'08 study (noise below
+		// the natural iteration imbalance is absorbed — also measurable
+		// here by passing a smaller duration).
+		o.DurationCycles = 150_000_000
+	}
+	if len(o.RankCounts) == 0 {
+		o.RankCounts = []int{1, 2, 4, 8}
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x4015e
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+}
+
+// NoiseStudy measures BSP noise amplification on the single-node testbed.
+func NoiseStudy(o NoiseStudyOptions) ([]NoisePoint, error) {
+	o.defaults()
+	spec := scaleSpec(workload.HPCCG(), o.Scale)
+	var out []NoisePoint
+	for _, ranks := range o.RankCounts {
+		base, err := noiseRun(spec, ranks, o.Seed, o.Scale, nil)
+		if err != nil {
+			return nil, err
+		}
+		rnd := sim.NewRand(o.Seed * 31)
+		noisy, err := noiseRun(spec, ranks, o.Seed, o.Scale, func(iter, rank int) sim.Cycles {
+			if rnd.Bool(o.Prob) {
+				return o.DurationCycles
+			}
+			return 0
+		})
+		if err != nil {
+			return nil, err
+		}
+		slow := noisy - base
+		expected := o.Prob * float64(spec.Iterations) * float64(o.DurationCycles) / 2.2e9
+		amp := 0.0
+		if expected > 0 {
+			amp = slow / expected
+		}
+		out = append(out, NoisePoint{
+			Ranks: ranks, BaseSec: base, NoisySec: noisy,
+			SlowdownSec: slow, Amplification: amp,
+		})
+	}
+	return out, nil
+}
+
+// noiseRun executes one HPMMAP-managed run with an optional per-iteration
+// noise hook.
+func noiseRun(spec workload.AppSpec, ranks int, seed uint64, sc Scale, noise func(iter, rank int) sim.Cycles) (float64, error) {
+	rig, err := newRig(dellMachine(), HPMMAP, seed, false, sc)
+	if err != nil {
+		return 0, err
+	}
+	cores, err := pinCores(rig.node, ranks)
+	if err != nil {
+		return 0, err
+	}
+	var placements []workload.RankPlacement
+	for _, c := range cores {
+		placements = append(placements, workload.RankPlacement{Node: rig.node, Core: c, Launch: rig.launcher()})
+	}
+	var res workload.Result
+	done := false
+	_, err = workload.Start(rig.eng, workload.Options{
+		Spec:      spec,
+		Ranks:     placements,
+		CommDelay: noise,
+	}, func(got workload.Result) { res = got; done = true })
+	if err != nil {
+		return 0, err
+	}
+	if err := runToCompletion(rig.eng, &done); err != nil {
+		return 0, err
+	}
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	return rig.node.Config().Seconds(float64(res.Runtime)), nil
+}
+
+// WriteNoiseStudy renders the study.
+func WriteNoiseStudy(points []NoisePoint) string {
+	s := fmt.Sprintf("%6s %12s %12s %12s %14s\n", "ranks", "base (s)", "noisy (s)", "cost (s)", "amplification")
+	for _, p := range points {
+		s += fmt.Sprintf("%6d %12.1f %12.1f %12.1f %13.2fx\n",
+			p.Ranks, p.BaseSec, p.NoisySec, p.SlowdownSec, p.Amplification)
+	}
+	return s
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpmmap/internal/cluster"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/stats"
+	"hpmmap/internal/workload"
+)
+
+// clusterWorkFactor sizes the per-rank input for the 8-node study. The
+// paper maximizes memory utilization on the 24GB nodes (20GB offlined);
+// LAMMPS runs a smaller production input (its Figure 8 runtimes are
+// ~130–150s).
+func clusterWorkFactor(bench string) float64 {
+	switch bench {
+	case "HPCCG":
+		return 3.3
+	case "miniFE":
+		return 3.2
+	case "LAMMPS":
+		return 1.55
+	}
+	return 3.0
+}
+
+// ClusterRun describes one run of the scaling study.
+type ClusterRun struct {
+	Bench   workload.AppSpec
+	Kind    ManagerKind
+	Profile Profile // C or D
+	Ranks   int     // 4, 8, 16 or 32; 4 per node
+	Seed    uint64
+	Scale   Scale
+}
+
+// ExecuteCluster performs one multi-node run: ranks/4 nodes, 4 app cores
+// per node (2 per NUMA zone), the per-node commodity profile, and the
+// 1GbE BSP communication model.
+func ExecuteCluster(rs ClusterRun) (RunOutcome, error) {
+	if rs.Scale == 0 {
+		rs.Scale = 1
+	}
+	const ranksPerNode = 4
+	nodes := rs.Ranks / ranksPerNode
+	if nodes == 0 {
+		nodes = 1
+	}
+	if rs.Ranks%ranksPerNode != 0 {
+		return RunOutcome{}, fmt.Errorf("experiments: ranks %d not a multiple of %d", rs.Ranks, ranksPerNode)
+	}
+	cr, err := newClusterRig(nodes, rs.Kind, rs.Seed, rs.Scale)
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	// 2 ranks per NUMA zone on the 8-core Xeons: cores 0,1 (zone 0) and
+	// 4,5 (zone 1).
+	perZone := cr.cl.Nodes[0].NumCores() / cr.cl.Nodes[0].Config().NumaZones
+	cores := []int{0, 1, perZone, perZone + 1}
+	placement, err := cluster.BlockPlacement(rs.Ranks, ranksPerNode, cores)
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	spec := scaleSpec(rs.Bench, rs.Scale)
+
+	// Start the per-node commodity profile.
+	var builds []*workload.Build
+	for i, node := range cr.cl.Nodes {
+		builds = append(builds, startProfile(node, rs.Profile, ranksPerNode, rs.Seed+uint64(i)*31337)...)
+	}
+
+	placements := cr.cl.Placements(placement, func(nodeIdx int) workload.Launcher {
+		return cr.rigs[nodeIdx].launcher()
+	})
+	var res workload.Result
+	done := false
+	_, err = workload.Start(cr.eng, workload.Options{
+		Spec:      spec,
+		Ranks:     placements,
+		CommDelay: cr.cl.CommDelay(spec, placement),
+	}, func(got workload.Result) {
+		res = got
+		for _, b := range builds {
+			b.Stop()
+		}
+		done = true
+	})
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	if err := runToCompletion(cr.eng, &done); err != nil {
+		return RunOutcome{}, err
+	}
+	if res.Err != nil {
+		return RunOutcome{}, res.Err
+	}
+	return RunOutcome{
+		RuntimeSec: cr.cl.Nodes[0].Config().Seconds(float64(res.Runtime)),
+		Result:     res,
+	}, nil
+}
+
+// Fig8Options configures the scaling study.
+type Fig8Options struct {
+	Benches  []string  // default: HPCCG, miniFE, LAMMPS
+	Profiles []Profile // default: C, D
+	Managers []ManagerKind
+	Ranks    []int // default: 4, 8, 16, 32
+	Runs     int   // default: 10
+	Seed     uint64
+	Scale    Scale
+	Progress func(string)
+}
+
+func (o *Fig8Options) defaults() {
+	if len(o.Benches) == 0 {
+		o.Benches = []string{"HPCCG", "miniFE", "LAMMPS"}
+	}
+	if len(o.Profiles) == 0 {
+		o.Profiles = []Profile{ProfileC, ProfileD}
+	}
+	if len(o.Managers) == 0 {
+		// HugeTLBfs was unavailable in the cluster's kernel config.
+		o.Managers = []ManagerKind{HPMMAP, THP}
+	}
+	if len(o.Ranks) == 0 {
+		o.Ranks = []int{4, 8, 16, 32}
+	}
+	if o.Runs == 0 {
+		o.Runs = 10
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5ca1e
+	}
+	if o.Progress == nil {
+		o.Progress = func(string) {}
+	}
+}
+
+// Fig8Point is one (ranks, manager) cell.
+type Fig8Point struct {
+	Ranks    int
+	MeanSec  float64
+	StdevSec float64
+	Runs     []float64
+}
+
+// Fig8Series is one manager's curve.
+type Fig8Series struct {
+	Kind   ManagerKind
+	Points []Fig8Point
+}
+
+// Fig8Panel is one subplot: a benchmark under profile C or D.
+type Fig8Panel struct {
+	Bench   string
+	Profile Profile
+	Series  []Fig8Series
+}
+
+// Fig8 runs the 8-node scaling study of the paper's Figure 8: HPCCG,
+// miniFE and LAMMPS at 4–32 ranks (4 per node) with per-node kernel-build
+// interference, HPMMAP versus THP.
+func Fig8(o Fig8Options) ([]Fig8Panel, error) {
+	o.defaults()
+	seeds := sim.NewRand(o.Seed)
+	var panels []Fig8Panel
+	for _, bench := range o.Benches {
+		base, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+		}
+		spec := base.ScaleWork(clusterWorkFactor(bench))
+		for _, prof := range o.Profiles {
+			panel := Fig8Panel{Bench: bench, Profile: prof}
+			for _, kind := range o.Managers {
+				series := Fig8Series{Kind: kind}
+				for _, ranks := range o.Ranks {
+					var sample stats.Sample
+					var runs []float64
+					for run := 0; run < o.Runs; run++ {
+						out, err := ExecuteCluster(ClusterRun{
+							Bench:   spec,
+							Kind:    kind,
+							Profile: prof,
+							Ranks:   ranks,
+							Seed:    seeds.Uint64(),
+							Scale:   o.Scale,
+						})
+						if err != nil {
+							return nil, fmt.Errorf("fig8 %s/%s/%s/%d: %w", bench, prof, kind, ranks, err)
+						}
+						sample.Add(out.RuntimeSec)
+						runs = append(runs, out.RuntimeSec)
+					}
+					series.Points = append(series.Points, Fig8Point{
+						Ranks:    ranks,
+						MeanSec:  sample.Mean(),
+						StdevSec: sample.Stdev(),
+						Runs:     runs,
+					})
+					o.Progress(fmt.Sprintf("fig8 %s profile %s %s ranks=%d: %.1f ± %.1f s",
+						bench, prof, kind, ranks, sample.Mean(), sample.Stdev()))
+				}
+				panel.Series = append(panel.Series, series)
+			}
+			panels = append(panels, panel)
+		}
+	}
+	return panels, nil
+}
+
+// Fig8Improvement returns HPMMAP's relative gain over THP at the given
+// rank count for one panel.
+func Fig8Improvement(p Fig8Panel, ranks int) float64 {
+	var hp, th float64
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			if pt.Ranks != ranks {
+				continue
+			}
+			switch s.Kind {
+			case HPMMAP:
+				hp = pt.MeanSec
+			case THP:
+				th = pt.MeanSec
+			}
+		}
+	}
+	return stats.RelativeImprovement(hp, th)
+}

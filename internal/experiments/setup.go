@@ -1,0 +1,453 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section IV): the fault-cost tables (Figs. 2–3), the fault
+// timelines (Figs. 4–5), the single-node weak-scaling study (Fig. 7) and
+// the 8-node scaling study (Fig. 8). Each experiment builds the exact
+// system configuration the paper describes, runs the workloads through
+// the full memory-management machinery, and reports the paper's rows and
+// series.
+package experiments
+
+import (
+	"fmt"
+
+	"hpmmap/internal/cluster"
+	"hpmmap/internal/core"
+	"hpmmap/internal/hugetlb"
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/linuxmm"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/thp"
+	"hpmmap/internal/trace"
+	"hpmmap/internal/workload"
+)
+
+// ManagerKind selects one of the paper's three memory-management
+// configurations.
+type ManagerKind int
+
+// The three configurations of Section IV: THP manages everything;
+// HugeTLBfs manages the HPC app with THP disabled; HPMMAP manages the HPC
+// app with THP managing the commodity side.
+const (
+	THP ManagerKind = iota
+	HugeTLBfs
+	HPMMAP
+)
+
+func (k ManagerKind) String() string {
+	switch k {
+	case THP:
+		return "Linux (THP)"
+	case HugeTLBfs:
+		return "Linux (HugeTLBfs)"
+	case HPMMAP:
+		return "HPMMAP"
+	}
+	return "?"
+}
+
+// Profile is a competing-commodity-workload profile from the paper.
+type Profile int
+
+// Profiles: None (idle), A/B (single node: one or two parallel kernel
+// builds), C/D (per cluster node: one or two 4-way builds).
+const (
+	ProfileNone Profile = iota
+	ProfileA
+	ProfileB
+	ProfileC
+	ProfileD
+)
+
+func (p Profile) String() string {
+	return [...]string{"none", "A", "B", "C", "D"}[p]
+}
+
+// Scale shrinks an experiment for fast test runs: footprints, memory and
+// iteration counts all scale together so the contention structure is
+// preserved. 1.0 reproduces the paper's configuration.
+type Scale float64
+
+// scaleBytes scales a byte quantity, keeping 256MB granularity sanity.
+func (s Scale) bytes(b uint64) uint64 {
+	v := uint64(float64(b) * float64(s))
+	return v
+}
+
+// rig is one configured single node.
+type rig struct {
+	eng    *sim.Engine
+	node   *kernel.Node
+	mm     *linuxmm.Manager
+	hp     *core.Manager
+	daemon *thp.Daemon
+}
+
+// offlineBytes returns the reservation/offline size for a machine: the
+// paper uses 12GB of 16GB (single node) and 20GB of 24GB (cluster).
+func offlineBytes(mc kernel.MachineConfig, sc Scale) uint64 {
+	var base uint64
+	switch {
+	case mc.MemoryBytes >= 24<<30:
+		base = 20 << 30
+	default:
+		base = 12 << 30
+	}
+	v := sc.bytes(base)
+	v -= v % (256 << 20) // section size x zones
+	if v < 256<<20 {
+		v = 256 << 20
+	}
+	return v
+}
+
+// dellMachine returns the single-node testbed preset.
+func dellMachine() kernel.MachineConfig { return kernel.DellR415() }
+
+// newRig boots one node under the given manager configuration.
+func newRig(mc kernel.MachineConfig, kind ManagerKind, seed uint64, detail bool, sc Scale) (*rig, error) {
+	mc.MemoryBytes = sc.bytes(mc.MemoryBytes)
+	eng := sim.NewEngine()
+	node := kernel.NewNode(mc, eng, sim.NewRand(seed))
+	node.Detail = detail
+	r := &rig{eng: eng, node: node}
+	if err := r.install(kind, sc); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// install wires the memory managers per the paper's three configurations.
+func (r *rig) install(kind ManagerKind, sc Scale) error {
+	node := r.node
+	switch kind {
+	case THP:
+		r.mm = linuxmm.New(node, linuxmm.ModeTHP, linuxmm.ModeTHP, nil)
+		node.SetDefaultMM(r.mm)
+		r.daemon = thp.Start(node, r.mm)
+	case HugeTLBfs:
+		resv := offlineBytes(node.Config(), sc)
+		pools, err := hugetlb.Reserve(node.Mem, resv)
+		if err != nil {
+			return fmt.Errorf("experiments: hugetlb reserve: %w", err)
+		}
+		node.SetReservedBytes(resv)
+		r.mm = linuxmm.New(node, linuxmm.ModeHugeTLB, linuxmm.Mode4KOnly, pools)
+		node.SetDefaultMM(r.mm)
+		// THP is disabled in this configuration: no daemon.
+	case HPMMAP:
+		r.mm = linuxmm.New(node, linuxmm.ModeTHP, linuxmm.ModeTHP, nil)
+		node.SetDefaultMM(r.mm)
+		r.daemon = thp.Start(node, r.mm)
+		hp, err := core.Install(node, offlineBytes(node.Config(), sc))
+		if err != nil {
+			return fmt.Errorf("experiments: hpmmap install: %w", err)
+		}
+		r.hp = hp
+	default:
+		return fmt.Errorf("experiments: unknown manager kind %d", kind)
+	}
+	return nil
+}
+
+// launcher returns the rank launcher for this rig's HPC processes.
+func (r *rig) launcher() workload.Launcher {
+	if r.hp != nil {
+		return r.hp.Launch
+	}
+	node := r.node
+	return func(name string, zone int) (*kernel.Process, error) {
+		return node.NewProcess(name, false, zone)
+	}
+}
+
+// pinCores returns the paper's core pinning for n ranks: half the ranks
+// on each NUMA zone's cores ("the HPC application was configured to pin
+// half of its cores on each NUMA zone ... for 1 core tests, all memory
+// came from 1 zone").
+func pinCores(node *kernel.Node, ranks int) ([]int, error) {
+	perZone := node.NumCores() / node.Config().NumaZones
+	if ranks > node.NumCores() {
+		return nil, fmt.Errorf("experiments: %d ranks exceed %d cores", ranks, node.NumCores())
+	}
+	if ranks == 1 {
+		return []int{0}, nil
+	}
+	half := (ranks + 1) / 2
+	if half > perZone {
+		half = perZone
+	}
+	var cores []int
+	for i := 0; i < half; i++ {
+		cores = append(cores, i)
+	}
+	for i := 0; len(cores) < ranks; i++ {
+		cores = append(cores, perZone+i)
+	}
+	return cores, nil
+}
+
+// startProfile launches the competing commodity workload for a profile on
+// one node and returns the builds to stop later. appRanks sizes profile
+// A/B per the paper: the build uses 8 cores when the app uses 1–4 and 4
+// cores when the app uses 8.
+func startProfile(node *kernel.Node, p Profile, appRanks int, seed uint64) []*workload.Build {
+	switch p {
+	case ProfileNone:
+		return nil
+	case ProfileA, ProfileB:
+		workers := 8
+		if appRanks >= 8 {
+			workers = 4
+		}
+		n := 1
+		if p == ProfileB {
+			n = 2
+		}
+		var builds []*workload.Build
+		for i := 0; i < n; i++ {
+			builds = append(builds, workload.StartBuild(node, workload.KernelBuild(workers), seed+uint64(i)*7919))
+		}
+		return builds
+	case ProfileC, ProfileD:
+		n := 1
+		if p == ProfileD {
+			n = 2
+		}
+		var builds []*workload.Build
+		for i := 0; i < n; i++ {
+			spec := workload.KernelBuild(4)
+			// The cluster nodes build over a slower shared filesystem:
+			// compiles spend more time blocked on I/O.
+			spec.IOWait *= 2
+			builds = append(builds, workload.StartBuild(node, spec, seed+uint64(i)*7919))
+		}
+		return builds
+	}
+	return nil
+}
+
+// scaleSpec shrinks a benchmark spec for quick runs.
+func scaleSpec(spec workload.AppSpec, sc Scale) workload.AppSpec {
+	if sc >= 1 {
+		return spec
+	}
+	spec.FootprintPerRank = sc.bytes(spec.FootprintPerRank)
+	spec.SharedPerPeer = sc.bytes(spec.SharedPerPeer)
+	spec.ChurnPerIter = sc.bytes(spec.ChurnPerIter)
+	spec.SmallChurnPerIter = sc.bytes(spec.SmallChurnPerIter)
+	spec.HeapChurnPerIter = sc.bytes(spec.HeapChurnPerIter)
+	spec.StackBytes = sc.bytes(spec.StackBytes)
+	it := int(float64(spec.Iterations) * float64(sc) * 4)
+	if it < 5 {
+		it = 5
+	}
+	if it > spec.Iterations {
+		it = spec.Iterations
+	}
+	spec.Iterations = it
+	if spec.SetupSteps > 6 {
+		spec.SetupSteps = 6
+	}
+	return spec
+}
+
+// runToCompletion steps the engine until done flips (the engine always
+// has periodic daemons queued, so draining is not a termination signal).
+func runToCompletion(eng *sim.Engine, done *bool) error {
+	for !*done {
+		if !eng.Step() {
+			return fmt.Errorf("experiments: engine drained before completion")
+		}
+	}
+	return nil
+}
+
+// SingleRun describes one measured application execution.
+type SingleRun struct {
+	Bench   workload.AppSpec
+	Kind    ManagerKind
+	Profile Profile
+	Ranks   int
+	Seed    uint64
+	Detail  bool
+	Scale   Scale
+	// Recorder, when non-nil, captures rank 0's faults (Figs. 2–5).
+	Recorder *trace.Recorder
+}
+
+// RunOutcome reports one completed run.
+type RunOutcome struct {
+	RuntimeSec float64
+	Result     workload.Result
+	// Manager statistics for diagnostics.
+	Compactions, ReclaimStorms, StormsHPC, Merges uint64
+	// MeanPressure is the time-averaged memory pressure sampled during
+	// the run.
+	MeanPressure float64
+}
+
+// ExecuteSingleNode performs one single-node run (the unit of Figure 7,
+// and with Detail+Recorder the source of Figures 2–5).
+func ExecuteSingleNode(rs SingleRun) (RunOutcome, error) {
+	return ExecuteSingleNodeWith(rs, nil)
+}
+
+// ModelOverrides perturbs the simulator's calibrated parameters for
+// sensitivity sweeps (cmd/hpmmap-sweep). Nil fields keep the defaults.
+type ModelOverrides struct {
+	THPFragSensitivity  *float64
+	ReclaimProbAtFull   *float64
+	ReclaimParetoXm     *float64
+	KhugepagedPeriodSec *float64
+	StoreCycles         *float64
+	MemLatency          *float64
+}
+
+func (o ModelOverrides) applyConfig(mc *kernel.MachineConfig) {
+	if o.ReclaimProbAtFull != nil {
+		mc.Costs.ReclaimProbAtFull = *o.ReclaimProbAtFull
+	}
+	if o.ReclaimParetoXm != nil {
+		mc.Costs.ReclaimParetoXm = *o.ReclaimParetoXm
+	}
+	if o.StoreCycles != nil {
+		mc.Costs.StoreCycles = *o.StoreCycles
+	}
+	if o.MemLatency != nil {
+		mc.MemLatency = *o.MemLatency
+	}
+	if o.KhugepagedPeriodSec != nil {
+		mc.KhugepagedScanPeriod = *o.KhugepagedPeriodSec * mc.ClockHz
+	}
+}
+
+func (o ModelOverrides) applyRig(r *rig) {
+	if o.THPFragSensitivity != nil && r.mm != nil {
+		r.mm.THPFragSensitivity = *o.THPFragSensitivity
+	}
+}
+
+// ExecuteSingleNodeWithOverrides runs one cell with perturbed model
+// parameters.
+func ExecuteSingleNodeWithOverrides(rs SingleRun, o ModelOverrides) (RunOutcome, error) {
+	return executeSingle(rs, nil, o)
+}
+
+// ExecuteSingleNodeWith is ExecuteSingleNode with a hook that starts an
+// additional co-located workload on the booted node (in-situ analytics,
+// custom interference). The hook's returned stop function is invoked when
+// the measured application completes.
+func ExecuteSingleNodeWith(rs SingleRun, extra func(node *kernel.Node) (stop func())) (RunOutcome, error) {
+	return executeSingle(rs, extra, ModelOverrides{})
+}
+
+func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o ModelOverrides) (RunOutcome, error) {
+	if rs.Scale == 0 {
+		rs.Scale = 1
+	}
+	mc := kernel.DellR415()
+	o.applyConfig(&mc)
+	rig, err := newRig(mc, rs.Kind, rs.Seed, rs.Detail, rs.Scale)
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	o.applyRig(rig)
+	spec := scaleSpec(rs.Bench, rs.Scale)
+	cores, err := pinCores(rig.node, rs.Ranks)
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	builds := startProfile(rig.node, rs.Profile, rs.Ranks, rs.Seed^0xb0b)
+	var stopExtra func()
+	if extra != nil {
+		stopExtra = extra(rig.node)
+	}
+	// Sample memory pressure through the run for diagnostics.
+	var psum float64
+	var pn int
+	sampler := rig.eng.NewTicker(sim.Cycles(rig.node.Config().ClockHz/4), func() {
+		psum += rig.node.Mem.Pressure()
+		pn++
+	})
+	defer sampler.Stop()
+	var placements []workload.RankPlacement
+	for _, c := range cores {
+		placements = append(placements, workload.RankPlacement{Node: rig.node, Core: c, Launch: rig.launcher()})
+	}
+	var res workload.Result
+	done := false
+	_, err = workload.Start(rig.eng, workload.Options{
+		Spec:     spec,
+		Ranks:    placements,
+		Recorder: rs.Recorder,
+	}, func(got workload.Result) {
+		res = got
+		for _, b := range builds {
+			b.Stop()
+		}
+		if stopExtra != nil {
+			stopExtra()
+		}
+		done = true
+	})
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	if err := runToCompletion(rig.eng, &done); err != nil {
+		return RunOutcome{}, err
+	}
+	if res.Err != nil {
+		return RunOutcome{}, res.Err
+	}
+	out := RunOutcome{
+		RuntimeSec: rig.node.Config().Seconds(float64(res.Runtime)),
+		Result:     res,
+	}
+	if pn > 0 {
+		out.MeanPressure = psum / float64(pn)
+	}
+	if rig.mm != nil {
+		out.Compactions = rig.mm.Compactions
+		out.ReclaimStorms = rig.mm.ReclaimStorms
+		out.StormsHPC = rig.mm.StormsHPC
+	}
+	if rig.daemon != nil {
+		out.Merges = rig.daemon.Merges
+	}
+	return out, nil
+}
+
+// clusterRig is the 8-node testbed.
+type clusterRig struct {
+	eng     *sim.Engine
+	cl      *cluster.Cluster
+	rigs    []*rig
+	daemons []*thp.Daemon
+}
+
+// newClusterRig boots n SandiaXeon nodes under one manager kind.
+func newClusterRig(n int, kind ManagerKind, seed uint64, sc Scale) (*clusterRig, error) {
+	eng := sim.NewEngine()
+	cr := &clusterRig{eng: eng}
+	var buildErr error
+	cl, err := cluster.New(eng, n, cluster.GigE(), seed^0xc1, func(i int) *kernel.Node {
+		mc := kernel.SandiaXeon()
+		mc.MemoryBytes = sc.bytes(mc.MemoryBytes)
+		node := kernel.NewNode(mc, eng, sim.NewRand(seed+uint64(i)*104729))
+		r := &rig{eng: eng, node: node}
+		if err := r.install(kind, sc); err != nil && buildErr == nil {
+			buildErr = err
+		}
+		cr.rigs = append(cr.rigs, r)
+		return node
+	})
+	if err != nil {
+		return nil, err
+	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	cr.cl = cl
+	return cr, nil
+}

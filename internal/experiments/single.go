@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpmmap/internal/sim"
+	"hpmmap/internal/stats"
+	"hpmmap/internal/workload"
+)
+
+// Fig7Options configures the single-node weak-scaling study.
+type Fig7Options struct {
+	Benches    []string  // default: HPCCG, CoMD, miniMD, miniFE
+	Profiles   []Profile // default: A, B
+	CoreCounts []int     // default: 1, 2, 4, 8
+	Managers   []ManagerKind
+	Runs       int // default: 10, as in the paper
+	Seed       uint64
+	Scale      Scale
+	Progress   func(string)
+}
+
+func (o *Fig7Options) defaults() {
+	if len(o.Benches) == 0 {
+		o.Benches = []string{"HPCCG", "CoMD", "miniMD", "miniFE"}
+	}
+	if len(o.Profiles) == 0 {
+		o.Profiles = []Profile{ProfileA, ProfileB}
+	}
+	if len(o.CoreCounts) == 0 {
+		o.CoreCounts = []int{1, 2, 4, 8}
+	}
+	if len(o.Managers) == 0 {
+		o.Managers = []ManagerKind{HPMMAP, THP, HugeTLBfs}
+	}
+	if o.Runs == 0 {
+		o.Runs = 10
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x7e57
+	}
+	if o.Progress == nil {
+		o.Progress = func(string) {}
+	}
+}
+
+// Fig7Point is one (cores, manager) cell: mean ± stdev over the runs.
+type Fig7Point struct {
+	Cores       int
+	MeanSec     float64
+	StdevSec    float64
+	Runs        []float64
+	FaultTotals uint64
+}
+
+// Fig7Series is one manager's curve in one panel.
+type Fig7Series struct {
+	Kind   ManagerKind
+	Points []Fig7Point
+}
+
+// Fig7Panel is one subplot: a benchmark under a profile.
+type Fig7Panel struct {
+	Bench   string
+	Profile Profile
+	Series  []Fig7Series
+}
+
+// Fig7 runs the single-node experiments of the paper's Figure 7: each
+// benchmark in weak-scaling mode on 1, 2, 4 and 8 cores, under commodity
+// profiles A and B, for each memory manager, averaging the given number
+// of runs.
+func Fig7(o Fig7Options) ([]Fig7Panel, error) {
+	o.defaults()
+	seeds := sim.NewRand(o.Seed)
+	var panels []Fig7Panel
+	for _, bench := range o.Benches {
+		spec, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+		}
+		for _, prof := range o.Profiles {
+			panel := Fig7Panel{Bench: bench, Profile: prof}
+			for _, kind := range o.Managers {
+				series := Fig7Series{Kind: kind}
+				for _, cores := range o.CoreCounts {
+					var sample stats.Sample
+					var faults uint64
+					var runs []float64
+					for run := 0; run < o.Runs; run++ {
+						out, err := ExecuteSingleNode(SingleRun{
+							Bench:   spec,
+							Kind:    kind,
+							Profile: prof,
+							Ranks:   cores,
+							Seed:    seeds.Uint64(),
+							Scale:   o.Scale,
+						})
+						if err != nil {
+							return nil, fmt.Errorf("fig7 %s/%s/%s/%d: %w", bench, prof, kind, cores, err)
+						}
+						sample.Add(out.RuntimeSec)
+						runs = append(runs, out.RuntimeSec)
+						for _, rr := range out.Result.Ranks {
+							faults += rr.Faults.TotalFaults()
+						}
+					}
+					series.Points = append(series.Points, Fig7Point{
+						Cores:       cores,
+						MeanSec:     sample.Mean(),
+						StdevSec:    sample.Stdev(),
+						Runs:        runs,
+						FaultTotals: faults / uint64(o.Runs),
+					})
+					o.Progress(fmt.Sprintf("fig7 %s profile %s %s cores=%d: %.1f ± %.1f s",
+						bench, prof, kind, cores, sample.Mean(), sample.Stdev()))
+				}
+				panel.Series = append(panel.Series, series)
+			}
+			panels = append(panels, panel)
+		}
+	}
+	return panels, nil
+}
+
+// MeanImprovement computes, across a set of panels, the average relative
+// improvement of manager a over manager b (the paper's "HPMMAP improves
+// performance by 15% over THP" style summary).
+func MeanImprovement(panels []Fig7Panel, a, b ManagerKind) float64 {
+	var sum float64
+	var n int
+	for _, p := range panels {
+		var sa, sb *Fig7Series
+		for i := range p.Series {
+			switch p.Series[i].Kind {
+			case a:
+				sa = &p.Series[i]
+			case b:
+				sb = &p.Series[i]
+			}
+		}
+		if sa == nil || sb == nil {
+			continue
+		}
+		for i := range sa.Points {
+			if i >= len(sb.Points) || sb.Points[i].MeanSec == 0 {
+				continue
+			}
+			sum += stats.RelativeImprovement(sa.Points[i].MeanSec, sb.Points[i].MeanSec)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PointFor extracts one cell from a panel set.
+func PointFor(panels []Fig7Panel, bench string, prof Profile, kind ManagerKind, cores int) (Fig7Point, bool) {
+	for _, p := range panels {
+		if p.Bench != bench || p.Profile != prof {
+			continue
+		}
+		for _, s := range p.Series {
+			if s.Kind != kind {
+				continue
+			}
+			for _, pt := range s.Points {
+				if pt.Cores == cores {
+					return pt, true
+				}
+			}
+		}
+	}
+	return Fig7Point{}, false
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpmmap/internal/fault"
+	"hpmmap/internal/trace"
+	"hpmmap/internal/workload"
+)
+
+// FaultStudyRow is one load condition of a Figure 2/3-style table.
+type FaultStudyRow struct {
+	Loaded    bool
+	Summaries []trace.KindSummary
+	Recorder  *trace.Recorder
+}
+
+// FaultStudy is the per-fault measurement study behind Figures 2–5: the
+// instrumented benchmark runs at micro fidelity, with and without a
+// competing kernel build, capturing every fault of rank 0.
+type FaultStudy struct {
+	Bench string
+	Kind  ManagerKind
+	Rows  []FaultStudyRow
+}
+
+// FaultStudyOptions configures a fault study run.
+type FaultStudyOptions struct {
+	Bench string // default miniMD (the paper's subject for Figs. 2–4)
+	Kind  ManagerKind
+	Ranks int // default 8
+	Seed  uint64
+	Scale Scale
+}
+
+func (o *FaultStudyOptions) defaults() {
+	if o.Bench == "" {
+		o.Bench = "miniMD"
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xfa01
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+}
+
+// RunFaultStudy executes the study under no load and under profile A.
+func RunFaultStudy(o FaultStudyOptions) (FaultStudy, error) {
+	o.defaults()
+	spec, ok := workload.ByName(o.Bench)
+	if !ok {
+		return FaultStudy{}, fmt.Errorf("experiments: unknown benchmark %q", o.Bench)
+	}
+	fs := FaultStudy{Bench: o.Bench, Kind: o.Kind}
+	for _, prof := range []Profile{ProfileNone, ProfileA} {
+		rec := trace.NewRecorder()
+		_, err := ExecuteSingleNode(SingleRun{
+			Bench:    spec,
+			Kind:     o.Kind,
+			Profile:  prof,
+			Ranks:    o.Ranks,
+			Seed:     o.Seed + uint64(prof)*17,
+			Detail:   true,
+			Scale:    o.Scale,
+			Recorder: rec,
+		})
+		if err != nil {
+			return FaultStudy{}, err
+		}
+		fs.Rows = append(fs.Rows, FaultStudyRow{
+			Loaded:    prof != ProfileNone,
+			Summaries: rec.Summarize(),
+			Recorder:  rec,
+		})
+	}
+	return fs, nil
+}
+
+// Fig2 reproduces the paper's Figure 2: THP fault-handling cycles for
+// miniMD, with and without added load.
+func Fig2(seed uint64, sc Scale) (FaultStudy, error) {
+	return RunFaultStudy(FaultStudyOptions{Kind: THP, Seed: seed, Scale: sc})
+}
+
+// Fig3 reproduces Figure 3: the same study under HugeTLBfs.
+func Fig3(seed uint64, sc Scale) (FaultStudy, error) {
+	return RunFaultStudy(FaultStudyOptions{Kind: HugeTLBfs, Seed: seed, Scale: sc})
+}
+
+// Timeline is one fault-scatter plot (Figures 4 and 5).
+type Timeline struct {
+	Title    string
+	Recorder *trace.Recorder
+}
+
+// Fig4 reproduces Figure 4: the THP fault timeline for miniMD without
+// (a) and with (b) competition, plus the lower-quarter zooms (c) and (d).
+func Fig4(seed uint64, sc Scale) ([]Timeline, error) {
+	fs, err := Fig2(seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	var out []Timeline
+	labels := []string{"(a) No Competition", "(b) With Competition"}
+	for i, row := range fs.Rows {
+		out = append(out, Timeline{Title: labels[i], Recorder: row.Recorder})
+	}
+	// Lower-quarter views: drop records above 1/4 of the max cost.
+	zoomLabels := []string{"(c) No Competition (lower quarter)", "(d) With Competition (lower quarter)"}
+	for i, row := range fs.Rows {
+		out = append(out, Timeline{Title: zoomLabels[i], Recorder: lowerQuarter(row.Recorder)})
+	}
+	return out, nil
+}
+
+func lowerQuarter(r *trace.Recorder) *trace.Recorder {
+	var max uint64
+	for _, rec := range r.Records() {
+		if uint64(rec.Cost) > max {
+			max = uint64(rec.Cost)
+		}
+	}
+	out := trace.NewRecorder()
+	for _, rec := range r.Records() {
+		if uint64(rec.Cost) <= max/4 {
+			out.Record(rec)
+		}
+	}
+	return out
+}
+
+// Fig5 reproduces Figure 5: HugeTLBfs fault timelines for HPCCG, CoMD and
+// miniFE, each without (top row) and with (bottom row) kernel-build
+// competition.
+func Fig5(seed uint64, sc Scale) ([]Timeline, error) {
+	var out []Timeline
+	for _, bench := range []string{"HPCCG", "CoMD", "miniFE"} {
+		fs, err := RunFaultStudy(FaultStudyOptions{Bench: bench, Kind: HugeTLBfs, Seed: seed, Scale: sc})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range fs.Rows {
+			label := fmt.Sprintf("%s, no competition", bench)
+			if row.Loaded {
+				label = fmt.Sprintf("%s, with kernel-build competition", bench)
+			}
+			out = append(out, Timeline{Title: label, Recorder: row.Recorder})
+		}
+	}
+	return out, nil
+}
+
+// SummaryFor extracts the per-kind summary for one fault kind from a
+// study row, reporting ok=false when the kind never occurred.
+func SummaryFor(row FaultStudyRow, k fault.Kind) (trace.KindSummary, bool) {
+	for _, s := range row.Summaries {
+		if s.Kind == k {
+			return s, true
+		}
+	}
+	return trace.KindSummary{}, false
+}

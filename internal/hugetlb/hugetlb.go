@@ -1,0 +1,116 @@
+// Package hugetlb models HugeTLBfs: per-NUMA pools of 2MB pages reserved
+// at boot, outside the reach of the default page allocator. The pool
+// guarantees large-page availability to its users while simultaneously
+// starving the rest of the system of the reserved memory — the mechanism
+// behind the paper's Figure 3 and Figure 5 results.
+package hugetlb
+
+import (
+	"fmt"
+
+	"hpmmap/internal/mem"
+)
+
+// Pools is the set of per-zone reserved 2MB page pools.
+type Pools struct {
+	zones []pool
+
+	// SlabBytes is the granularity at which a hugetlb-backed mapping is
+	// materialized per recorded fault. Each 2MB page faults individually,
+	// as hugetlbfs's fault handler works.
+	SlabBytes uint64
+}
+
+type pool struct {
+	zone  int
+	pages []mem.PFN // free 2MB pages (LIFO)
+	total int
+}
+
+// Reserve carves totalBytes of 2MB pages out of the node's zones, split
+// evenly — the boot-time "hugepages=" reservation. The frames come out of
+// the buddy allocator and never return while the pool exists.
+func Reserve(node *mem.NodeMemory, totalBytes uint64) (*Pools, error) {
+	per := totalBytes / uint64(len(node.Zones))
+	per -= per % mem.LargePageSize
+	p := &Pools{SlabBytes: mem.LargePageSize}
+	for _, z := range node.Zones {
+		pl := pool{zone: z.ID}
+		want := per / mem.LargePageSize
+		for i := uint64(0); i < want; i++ {
+			pfn, ok := z.AllocPages(mem.LargePageOrder)
+			if !ok {
+				return nil, fmt.Errorf("hugetlb: zone %d exhausted after %d of %d pages", z.ID, i, want)
+			}
+			pl.pages = append(pl.pages, pfn)
+		}
+		pl.total = len(pl.pages)
+		p.zones = append(p.zones, pl)
+	}
+	return p, nil
+}
+
+// TotalPages returns the reserved page count across zones.
+func (p *Pools) TotalPages() int {
+	t := 0
+	for i := range p.zones {
+		t += p.zones[i].total
+	}
+	return t
+}
+
+// FreePages returns the free pool pages in the zone.
+func (p *Pools) FreePages(zone int) int {
+	if zone < 0 || zone >= len(p.zones) {
+		return 0
+	}
+	return len(p.zones[zone].pages)
+}
+
+// FreePagesTotal returns free pool pages across all zones.
+func (p *Pools) FreePagesTotal() int {
+	t := 0
+	for i := range p.zones {
+		t += len(p.zones[i].pages)
+	}
+	return t
+}
+
+// Alloc2M takes one 2MB page, preferring the given zone and falling back
+// to others. The second result reports the zone the page came from, so
+// callers can account for cross-zone (remote NUMA) placement.
+func (p *Pools) Alloc2M(zone int) (mem.PFN, int, error) {
+	order := make([]int, 0, len(p.zones))
+	if zone >= 0 && zone < len(p.zones) {
+		order = append(order, zone)
+	}
+	for i := range p.zones {
+		if i != zone {
+			order = append(order, i)
+		}
+	}
+	for _, zi := range order {
+		pl := &p.zones[zi]
+		if n := len(pl.pages); n > 0 {
+			pfn := pl.pages[n-1]
+			pl.pages = pl.pages[:n-1]
+			return pfn, zi, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("hugetlb: pools exhausted")
+}
+
+// Free2M returns a page to its zone's pool.
+func (p *Pools) Free2M(pfn mem.PFN, zone int) {
+	if zone < 0 || zone >= len(p.zones) {
+		panic("hugetlb: Free2M bad zone")
+	}
+	pl := &p.zones[zone]
+	if len(pl.pages) >= pl.total {
+		panic("hugetlb: pool overflow on free")
+	}
+	pl.pages = append(pl.pages, pfn)
+}
+
+// SlabPages returns how many 2MB pages one heap-extension slab holds.
+func (p *Pools) SlabPages() uint64 { return p.SlabBytes / mem.LargePageSize }

@@ -1,0 +1,93 @@
+// Package kernel simulates the operating-system layer of one compute
+// node: processes and tasks, a CFS-like fair-share scheduler, the
+// virtual-memory system-call surface, the page-fault entry path, the page
+// cache and background reclaim. Memory managers (Linux THP, HugeTLBfs,
+// HPMMAP) plug in behind a single MemoryManager interface, exactly as the
+// paper's system-call interposition layer selects per-process managers.
+package kernel
+
+import (
+	"hpmmap/internal/fault"
+	"hpmmap/internal/tlb"
+)
+
+// MachineConfig describes the hardware of one node.
+type MachineConfig struct {
+	Name      string
+	Cores     int
+	NumaZones int
+	// MemoryBytes is the total installed RAM.
+	MemoryBytes uint64
+	// ClockHz converts cycles to seconds.
+	ClockHz float64
+	TLB     tlb.Config
+	Costs   fault.CostParams
+
+	// MemLatency is the uncontended DRAM access latency in cycles, used
+	// by the TLB-miss page-walk cost model.
+	MemLatency float64
+	// WalkCacheFactor is the average fraction of page-walk levels that
+	// miss the paging-structure caches and go to memory (upper levels are
+	// usually cached).
+	WalkCacheFactor float64
+
+	// SyscallCost is the base user→kernel→user cost of a system call.
+	SyscallCost float64
+	// CtxSwitch is the cost of a context switch including cold-cache
+	// effects (charged as scheduler noise).
+	CtxSwitch float64
+
+	// KhugepagedScanPeriod is the interval between khugepaged scan/merge
+	// attempts, in cycles (Linux default: scan every 10s, allocate every
+	// 60s when failing; we use the effective merge cadence).
+	KhugepagedScanPeriod float64
+	// KswapdPeriod is the background-reclaim wakeup interval in cycles.
+	KswapdPeriod float64
+	// KswapdBatchPages is how many page-cache pages one kswapd pass
+	// frees when below the low watermark.
+	KswapdBatchPages uint64
+}
+
+// DellR415 returns the single-node testbed: two 6-core Opteron 4174
+// (2.2GHz, 12 cores), 16GB RAM in two NUMA zones, Fedora 15 with a 3.3.8
+// kernel.
+func DellR415() MachineConfig {
+	return MachineConfig{
+		Name:                 "dell-r415",
+		Cores:                12,
+		NumaZones:            2,
+		MemoryBytes:          16 << 30,
+		ClockHz:              2.2e9,
+		TLB:                  tlb.Config{Entries4K: 512, Entries2M: 48, Assoc: 4},
+		Costs:                fault.DefaultCostParams(),
+		MemLatency:           180,
+		WalkCacheFactor:      0.45,
+		SyscallCost:          900,
+		CtxSwitch:            6000,
+		KhugepagedScanPeriod: 2.2e9 * 3, // one merge attempt every ~3s
+		KswapdPeriod:         2.2e9 / 20,
+		KswapdBatchPages:     16384,
+	}
+}
+
+// SandiaXeon returns one node of the 8-node scaling testbed: two 4-core
+// Xeon X5570 (2.93GHz, 8 cores), 24GB RAM in two NUMA zones, a 3.5.7
+// kernel, 1GbE NIC.
+func SandiaXeon() MachineConfig {
+	c := DellR415()
+	c.Name = "sandia-xeon"
+	c.Cores = 8
+	c.MemoryBytes = 24 << 30
+	c.ClockHz = 2.93e9
+	c.TLB = tlb.Config{Entries4K: 512, Entries2M: 32, Assoc: 4}
+	c.MemLatency = 160
+	c.KhugepagedScanPeriod = 2.93e9 * 3
+	c.KswapdPeriod = 2.93e9 / 20
+	return c
+}
+
+// Seconds converts cycles to seconds on this machine.
+func (m MachineConfig) Seconds(c float64) float64 { return c / m.ClockHz }
+
+// Cycles converts seconds to cycles on this machine.
+func (m MachineConfig) Cycles(sec float64) float64 { return sec * m.ClockHz }

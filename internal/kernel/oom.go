@@ -1,0 +1,31 @@
+package kernel
+
+// OOM killing: when reclaim cannot make progress (no page cache left to
+// evict and an allocation still fails), Linux kills the process with the
+// largest unreclaimable footprint. The paper's consolidation scenarios
+// run at sustained pressure, and without this relief valve a simulated
+// node could wedge with every allocator returning failure — silently
+// under-materializing memory instead of behaving like a kernel.
+
+// OOMKill selects and kills the commodity process with the largest
+// resident set, freeing its memory. HPC processes are never chosen: the
+// paper's testbeds size the HPC input to fit, and oom_score_adj on a
+// production system would protect the job the node exists to run. Returns
+// the killed process, or nil if no commodity process is resident.
+func (n *Node) OOMKill() *Process {
+	var victim *Process
+	n.Processes(func(p *Process) {
+		if !p.Commodity || p.Exited {
+			return
+		}
+		if victim == nil || p.ResidentBytes() > victim.ResidentBytes() {
+			victim = p
+		}
+	})
+	if victim == nil {
+		return nil
+	}
+	n.OOMKills++
+	n.Exit(victim)
+	return victim
+}

@@ -1,0 +1,150 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hpmmap/internal/sim"
+)
+
+// core is one CPU with its runqueue occupancy and the NUMA zone it sits
+// in.
+type core struct {
+	id       int
+	zone     int
+	runnable int     // tasks currently executing a Run segment here
+	bwWeight float64 // summed bandwidth weights of those tasks
+}
+
+// Scheduling is a fair-share fluid model of CFS: a Run segment of W
+// CPU-cycles on a core shared by N runnable tasks completes after W*N
+// cycles (plus context-switch noise). Segments are short relative to load
+// changes, so sampling the share at segment start is a good approximation
+// of per-tick fairness, while keeping event counts tractable. Floating
+// tasks are placed on the least-loaded core at every segment, modelling
+// CFS load balancing of the unpinned kernel-build processes.
+
+// Place assigns a floating task to the least-loaded core. Ties prefer
+// the highest core ID: pinned HPC ranks occupy the low IDs, and CFS's
+// idle balancing similarly avoids displacing running tasks. Placement is
+// deterministic.
+func (n *Node) Place(t *Task) int {
+	if t.Pinned >= 0 {
+		t.cur = t.Pinned
+		return t.Pinned
+	}
+	best := len(n.cores) - 1
+	for i := len(n.cores) - 2; i >= 0; i-- {
+		if n.cores[i].runnable < n.cores[best].runnable {
+			best = i
+		}
+	}
+	t.cur = best
+	return best
+}
+
+// arrive adds the task to its core's runqueue.
+func (n *Node) arrive(t *Task) {
+	if t.running {
+		panic("kernel: task already running")
+	}
+	t.running = true
+	c := &n.cores[t.cur]
+	c.runnable++
+	c.bwWeight += t.BandwidthWeight
+}
+
+// depart removes the task from its core's runqueue.
+func (n *Node) depart(t *Task) {
+	if !t.running {
+		return
+	}
+	t.running = false
+	c := &n.cores[t.cur]
+	c.runnable--
+	c.bwWeight -= t.BandwidthWeight
+	if c.runnable < 0 {
+		panic("kernel: negative runnable count")
+	}
+	if c.bwWeight < 1e-9 {
+		c.bwWeight = 0
+	}
+}
+
+// Run executes a segment: cpuWork cycles of CPU-bound work plus stall
+// cycles of time not subject to CPU sharing (fault waits, I/O retries).
+// fn runs when the segment completes, with the wall-cycles it took.
+func (n *Node) Run(t *Task, cpuWork, stall sim.Cycles, fn func(elapsed sim.Cycles)) {
+	if t.done {
+		panic(fmt.Sprintf("kernel: Run on finished task %d", t.ID))
+	}
+	n.Place(t)
+	n.arrive(t)
+	share := n.cores[t.cur].runnable
+	if share < 1 {
+		share = 1
+	}
+	elapsed := cpuWork*sim.Cycles(share) + stall
+	if share > 1 {
+		// Context-switch and cache-pollution noise while timesharing.
+		per := sim.Cycles(float64(cpuWork) / 2.4e6) // switches at ~1ms granularity
+		elapsed += sim.Cycles(n.rand.Jitter(per*sim.Cycles(n.cfg.CtxSwitch), 0.5))
+	}
+	start := n.eng.Now()
+	n.eng.Schedule(elapsed, func() {
+		n.depart(t)
+		fn(n.eng.Now() - start)
+	})
+}
+
+// Sleep blocks the task off the runqueue for d cycles (I/O, network).
+func (n *Node) Sleep(t *Task, d sim.Cycles, fn func()) {
+	if t.running {
+		n.depart(t)
+	}
+	n.eng.Schedule(d, fn)
+}
+
+// RunnableOn returns the number of runnable tasks on the given core.
+func (n *Node) RunnableOn(coreID int) int { return n.cores[coreID].runnable }
+
+// CPULoad returns total runnable tasks divided by cores — >1 means the
+// node is overcommitted.
+func (n *Node) CPULoad() float64 {
+	t := 0
+	for i := range n.cores {
+		t += n.cores[i].runnable
+	}
+	return float64(t) / float64(len(n.cores))
+}
+
+// bandwidthLoadExcluding returns the fraction of node memory bandwidth
+// consumed by running tasks of processes other than p, in [0,1]. Tasks
+// timesharing a core generate traffic one at a time, so a core's
+// contribution is the average weight of its runnable tasks, not the sum.
+// Bandwidth saturates at roughly half the core count of streaming tasks.
+func (n *Node) bandwidthLoadExcluding(p *Process) float64 {
+	var w float64
+	for i := range n.cores {
+		c := &n.cores[i]
+		if c.runnable > 0 {
+			w += c.bwWeight / float64(c.runnable)
+		}
+	}
+	// Subtract p's own running tasks' time-shared contribution.
+	for _, t := range n.tasks {
+		if t.running && t.Proc == p {
+			if r := n.cores[t.cur].runnable; r > 0 {
+				w -= t.BandwidthWeight / float64(r)
+			}
+		}
+	}
+	if w < 0 {
+		w = 0
+	}
+	sat := float64(len(n.cores)) * 0.5
+	load := w / sat
+	if load > 1 {
+		load = 1
+	}
+	return load
+}

@@ -1,0 +1,56 @@
+package kernel
+
+import "fmt"
+
+// SwapDevice models the swap partition: capacity accounting and the cost
+// asymmetry of rotating storage (the paper's era: swap-in is a seek).
+// Anonymous pages of commodity processes get paged out when reclaim has
+// no cache left to evict; HPC pages are never swapped (mlock/policy — and
+// under HPMMAP they are not Linux's to swap in the first place).
+type SwapDevice struct {
+	// TotalPages of swap capacity.
+	TotalPages uint64
+	used       uint64
+
+	// Statistics.
+	SwapOuts, SwapIns uint64
+}
+
+// NewSwapDevice creates a device of the given byte size.
+func NewSwapDevice(bytes uint64) *SwapDevice {
+	return &SwapDevice{TotalPages: bytes / 4096}
+}
+
+// FreePages returns unused swap capacity.
+func (s *SwapDevice) FreePages() uint64 { return s.TotalPages - s.used }
+
+// UsedPages returns occupied swap slots.
+func (s *SwapDevice) UsedPages() uint64 { return s.used }
+
+// Reserve takes up to n slots, returning how many were granted.
+func (s *SwapDevice) Reserve(n uint64) uint64 {
+	free := s.FreePages()
+	if n > free {
+		n = free
+	}
+	s.used += n
+	s.SwapOuts += n
+	return n
+}
+
+// Release returns slots (swap-in or process exit).
+func (s *SwapDevice) Release(n uint64) {
+	if n > s.used {
+		panic(fmt.Sprintf("kernel: swap release of %d with %d used", n, s.used))
+	}
+	s.used -= n
+}
+
+// Swap returns the node's swap device (created lazily with the default
+// 8GB partition the testbeds carried).
+func (n *Node) Swap() *SwapDevice {
+	if n.swap == nil {
+		n.swap = NewSwapDevice(8 << 30)
+	}
+	return n.swap
+}

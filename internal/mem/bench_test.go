@@ -1,0 +1,59 @@
+package mem
+
+import "testing"
+
+func BenchmarkZoneAllocFree4K(b *testing.B) {
+	z := NewZone(0, 0, (1<<30)/PageSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, ok := z.AllocPages(0)
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		z.FreeBlock(p, 0)
+	}
+}
+
+func BenchmarkZoneAllocFree2M(b *testing.B) {
+	z := NewZone(0, 0, (1<<30)/PageSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, ok := z.AllocPages(LargePageOrder)
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		z.FreeBlock(p, LargePageOrder)
+	}
+}
+
+func BenchmarkZoneSplitCoalesceCycle(b *testing.B) {
+	// Worst case: split from the max order down to 4K and coalesce back.
+	z := NewZone(0, 0, PagesPerOrder(MaxOrder))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, ok := z.AllocPages(0)
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		z.FreeBlock(p, 0)
+	}
+}
+
+func BenchmarkFragmentationIndex(b *testing.B) {
+	z := NewZone(0, 0, (256<<20)/PageSize)
+	var pages []PFN
+	for {
+		p, ok := z.AllocPages(0)
+		if !ok {
+			break
+		}
+		pages = append(pages, p)
+	}
+	for i := 0; i < len(pages); i += 2 {
+		z.FreeBlock(pages[i], 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.FragmentationIndex(LargePageOrder)
+	}
+}

@@ -1,0 +1,65 @@
+package mem
+
+// freeList holds the free blocks of a single buddy order. It supports O(1)
+// push, O(1) pop (LIFO, which matches the hot-cache preference of real
+// allocators), and O(1) removal by address (needed when a buddy is
+// absorbed during coalescing). Iteration order is deterministic for a
+// deterministic call sequence.
+type freeList struct {
+	items []PFN
+	pos   map[PFN]int
+}
+
+func newFreeList() *freeList {
+	return &freeList{pos: make(map[PFN]int)}
+}
+
+func (f *freeList) len() int { return len(f.items) }
+
+func (f *freeList) contains(p PFN) bool {
+	_, ok := f.pos[p]
+	return ok
+}
+
+func (f *freeList) push(p PFN) {
+	if _, ok := f.pos[p]; ok {
+		panic("mem: freeList double push")
+	}
+	f.pos[p] = len(f.items)
+	f.items = append(f.items, p)
+}
+
+// pop removes and returns the most recently freed block.
+func (f *freeList) pop() (PFN, bool) {
+	n := len(f.items)
+	if n == 0 {
+		return 0, false
+	}
+	p := f.items[n-1]
+	f.items = f.items[:n-1]
+	delete(f.pos, p)
+	return p, true
+}
+
+// remove deletes a specific block (swap-remove). Reports whether it was
+// present.
+func (f *freeList) remove(p PFN) bool {
+	i, ok := f.pos[p]
+	if !ok {
+		return false
+	}
+	last := len(f.items) - 1
+	moved := f.items[last]
+	f.items[i] = moved
+	f.pos[moved] = i
+	f.items = f.items[:last]
+	delete(f.pos, p) // also correct when moved == p (entry re-created above)
+	return true
+}
+
+// each calls fn for every free block, in internal (deterministic) order.
+func (f *freeList) each(fn func(PFN)) {
+	for _, p := range f.items {
+		fn(p)
+	}
+}

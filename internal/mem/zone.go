@@ -1,0 +1,348 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Zone is one NUMA zone of physical memory managed by an order-based buddy
+// allocator, mirroring the Linux zoned page allocator. Frame numbers are
+// global (node-wide): a zone spans [Base, Base+Pages).
+type Zone struct {
+	ID    int
+	Base  PFN
+	Pages uint64 // total managed base pages
+
+	free      [MaxOrder + 1]*freeList
+	freePages uint64
+
+	// Watermarks, in base pages, following Linux's min/low/high scheme.
+	// Allocation below min fails for normal requests; below low wakes
+	// reclaim (modelled by callers observing Pressure).
+	WatermarkMin  uint64
+	WatermarkLow  uint64
+	WatermarkHigh uint64
+
+	offlined []Extent // hot-removed ranges, no longer managed
+
+	// Statistics.
+	Allocs, Frees, Splits, Merges, Failures uint64
+}
+
+// Extent is a contiguous physical range.
+type Extent struct {
+	Base  PFN
+	Pages uint64
+}
+
+// Bytes returns the size of the extent in bytes.
+func (e Extent) Bytes() uint64 { return e.Pages * PageSize }
+
+// End returns one past the last frame.
+func (e Extent) End() PFN { return e.Base + PFN(e.Pages) }
+
+// NewZone creates a zone of the given size whose free memory starts fully
+// coalesced. pages must be a multiple of the max-order block size so the
+// initial free lists are exact.
+func NewZone(id int, base PFN, pages uint64) *Zone {
+	maxBlock := PagesPerOrder(MaxOrder)
+	if pages == 0 || pages%maxBlock != 0 {
+		panic(fmt.Sprintf("mem: zone size %d pages not a multiple of max-order block (%d)", pages, maxBlock))
+	}
+	if uint64(base)%maxBlock != 0 {
+		panic("mem: zone base not max-order aligned")
+	}
+	z := &Zone{ID: id, Base: base, Pages: pages}
+	for o := range z.free {
+		z.free[o] = newFreeList()
+	}
+	for p := base; p < base+PFN(pages); p += PFN(maxBlock) {
+		z.free[MaxOrder].push(p)
+	}
+	z.freePages = pages
+	// Default watermarks: roughly Linux's proportions.
+	z.WatermarkMin = pages / 256
+	z.WatermarkLow = pages / 128
+	z.WatermarkHigh = pages / 64
+	return z
+}
+
+// FreePages returns the number of free base pages.
+func (z *Zone) FreePages() uint64 { return z.freePages }
+
+// FreeBytes returns the free memory in bytes.
+func (z *Zone) FreeBytes() uint64 { return z.freePages * PageSize }
+
+// UsedPages returns allocated (managed, non-free) base pages.
+func (z *Zone) UsedPages() uint64 { return z.Pages - z.freePages }
+
+// buddyOf returns the buddy block of p at the given order.
+func (z *Zone) buddyOf(p PFN, order int) PFN {
+	rel := uint64(p - z.Base)
+	return z.Base + PFN(rel^PagesPerOrder(order))
+}
+
+// AllocPages allocates a block of 2^order base pages. It returns the first
+// frame of the block. Allocation fails (ok=false) when no block of the
+// requested or any higher order is free — exactly the condition under
+// which Linux would enter reclaim/compaction.
+func (z *Zone) AllocPages(order int) (PFN, bool) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("mem: AllocPages order %d out of range", order))
+	}
+	for o := order; o <= MaxOrder; o++ {
+		p, ok := z.free[o].pop()
+		if !ok {
+			continue
+		}
+		// Split down to the requested order, returning the upper halves.
+		for o > order {
+			o--
+			z.Splits++
+			z.free[o].push(p + PFN(PagesPerOrder(o)))
+		}
+		z.freePages -= PagesPerOrder(order)
+		z.Allocs++
+		return p, true
+	}
+	z.Failures++
+	return 0, false
+}
+
+// FreePages returns a block to the allocator, coalescing with free buddies
+// as far as possible.
+func (z *Zone) FreeBlock(p PFN, order int) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("mem: FreeBlock order %d out of range", order))
+	}
+	if p < z.Base || p+PFN(PagesPerOrder(order)) > z.Base+PFN(z.Pages) {
+		panic(fmt.Sprintf("mem: FreeBlock [%d,+2^%d) outside zone %d", p, order, z.ID))
+	}
+	if uint64(p-z.Base)%PagesPerOrder(order) != 0 {
+		panic("mem: FreeBlock misaligned for order")
+	}
+	z.Frees++
+	z.freePages += PagesPerOrder(order)
+	for order < MaxOrder {
+		buddy := z.buddyOf(p, order)
+		if !z.free[order].remove(buddy) {
+			break
+		}
+		z.Merges++
+		if buddy < p {
+			p = buddy
+		}
+		order++
+	}
+	z.free[order].push(p)
+}
+
+// FreeBlocksAt returns the number of free blocks at exactly the given
+// order.
+func (z *Zone) FreeBlocksAt(order int) int { return z.free[order].len() }
+
+// LargestFreeOrder returns the highest order with at least one free block,
+// or -1 if the zone is exhausted.
+func (z *Zone) LargestFreeOrder() int {
+	for o := MaxOrder; o >= 0; o-- {
+		if z.free[o].len() > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// CanAlloc reports whether an allocation of the given order would succeed
+// right now.
+func (z *Zone) CanAlloc(order int) bool {
+	for o := order; o <= MaxOrder; o++ {
+		if z.free[o].len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FragmentationIndex returns Linux's fragmentation index for the given
+// order: 0 means failures are due to lack of memory, values approaching 1
+// mean failures are due to fragmentation. Returns -1 when a request of the
+// order would currently succeed (the index is only meaningful on failure
+// paths), matching the kernel's convention.
+func (z *Zone) FragmentationIndex(order int) float64 {
+	var requested, total, blocks uint64
+	requested = PagesPerOrder(order)
+	for o := 0; o <= MaxOrder; o++ {
+		n := uint64(z.free[o].len())
+		blocks += n
+		total += n * PagesPerOrder(o)
+		if o >= order && n > 0 {
+			return -1
+		}
+	}
+	if blocks == 0 {
+		return 0
+	}
+	return 1 - float64(total)/float64(requested)/float64(blocks)
+}
+
+// Pressure returns a [0,1] load factor describing how close the zone is to
+// its watermarks: 0 when free memory is at or above the high watermark, 1
+// when at or below min.
+func (z *Zone) Pressure() float64 {
+	f := z.freePages
+	if f >= z.WatermarkHigh {
+		return 0
+	}
+	if f <= z.WatermarkMin {
+		return 1
+	}
+	return float64(z.WatermarkHigh-f) / float64(z.WatermarkHigh-z.WatermarkMin)
+}
+
+// Offline hot-removes bytes of memory from the zone in SectionSize units,
+// as Linux Memory Hot Remove does. It requires the sections to be fully
+// free (the simulator offlines at boot, exactly as the paper configures).
+// The removed extents are returned for an external manager (HPMMAP) to
+// own; they will never again be handed out by this zone.
+func (z *Zone) Offline(bytes uint64) ([]Extent, error) {
+	if bytes == 0 {
+		return nil, nil
+	}
+	if bytes%SectionSize != 0 {
+		return nil, fmt.Errorf("mem: offline size %d not a multiple of the %dMB section size", bytes, SectionSize>>20)
+	}
+	pages := bytes / PageSize
+	if pages > z.freePages {
+		return nil, fmt.Errorf("mem: zone %d has only %d free pages, cannot offline %d", z.ID, z.freePages, pages)
+	}
+	sectionPages := uint64(SectionSize / PageSize)
+	want := pages / sectionPages
+
+	// Gather candidate max-order blocks from the top of the zone first:
+	// hot-remove prefers movable, high blocks. We take fully free,
+	// section-aligned spans.
+	var starts []PFN
+	z.free[MaxOrder].each(func(p PFN) { starts = append(starts, p) })
+	sort.Slice(starts, func(i, j int) bool { return starts[i] > starts[j] })
+
+	blocksPerSection := sectionPages / PagesPerOrder(MaxOrder)
+	if blocksPerSection == 0 {
+		blocksPerSection = 1
+	}
+
+	// Group contiguous runs of max-order blocks into sections.
+	var got []Extent
+	run := make(map[PFN]bool, len(starts))
+	for _, s := range starts {
+		run[s] = true
+	}
+	// Walk section-aligned addresses inside the (original) zone span from
+	// the top; hot-remove prefers the highest movable sections.
+	origPages := z.Pages
+	maxSections := origPages / sectionPages
+	for i := uint64(0); i < maxSections && uint64(len(got)) < want; i++ {
+		base := z.Base + PFN(origPages) - PFN((i+1)*sectionPages)
+		ok := true
+		for b := uint64(0); b < blocksPerSection; b++ {
+			if !run[base+PFN(b*PagesPerOrder(MaxOrder))] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for b := uint64(0); b < blocksPerSection; b++ {
+			p := base + PFN(b*PagesPerOrder(MaxOrder))
+			if !z.free[MaxOrder].remove(p) {
+				panic("mem: offline lost a free block")
+			}
+			delete(run, p)
+		}
+		z.freePages -= sectionPages
+		got = append(got, Extent{Base: base, Pages: sectionPages})
+	}
+	if uint64(len(got)) < want {
+		// Roll back.
+		for _, e := range got {
+			z.freePages += e.Pages
+			for b := uint64(0); b < e.Pages; b += PagesPerOrder(MaxOrder) {
+				z.free[MaxOrder].push(e.Base + PFN(b))
+			}
+		}
+		return nil, fmt.Errorf("mem: zone %d could not find %d free sections (found %d); memory too fragmented", z.ID, want, len(got))
+	}
+	// The zone keeps a contiguous managed span: removal is only supported
+	// for the topmost sections (always the case at boot, when the whole
+	// zone is free — the configuration the paper uses).
+	lowest := got[0].Base
+	for _, e := range got {
+		if e.Base < lowest {
+			lowest = e.Base
+		}
+	}
+	if lowest != z.Base+PFN(origPages)-PFN(uint64(len(got))*sectionPages) {
+		for _, e := range got {
+			z.freePages += e.Pages
+			for b := uint64(0); b < e.Pages; b += PagesPerOrder(MaxOrder) {
+				z.free[MaxOrder].push(e.Base + PFN(b))
+			}
+		}
+		return nil, fmt.Errorf("mem: zone %d free sections are not contiguous at the top; offline after boot is unsupported", z.ID)
+	}
+	z.Pages -= uint64(len(got)) * sectionPages
+	// Recompute watermarks against the shrunken zone.
+	z.WatermarkMin = z.Pages / 256
+	z.WatermarkLow = z.Pages / 128
+	z.WatermarkHigh = z.Pages / 64
+	z.offlined = append(z.offlined, got...)
+	return got, nil
+}
+
+// Offlined returns the extents removed from this zone so far.
+func (z *Zone) Offlined() []Extent { return z.offlined }
+
+// checkInvariants validates internal consistency; used by tests.
+func (z *Zone) checkInvariants() error {
+	var total uint64
+	seen := make(map[PFN]int)
+	for o := 0; o <= MaxOrder; o++ {
+		var err error
+		z.free[o].each(func(p PFN) {
+			if err != nil {
+				return
+			}
+			if p < z.Base || p+PFN(PagesPerOrder(o)) > z.Base+PFN(z.Pages)+PFN(offlinedPages(z)) {
+				err = fmt.Errorf("free block %d order %d outside zone", p, o)
+				return
+			}
+			if uint64(p-z.Base)%PagesPerOrder(o) != 0 {
+				err = fmt.Errorf("free block %d misaligned for order %d", p, o)
+				return
+			}
+			for i := uint64(0); i < PagesPerOrder(o); i++ {
+				if prev, dup := seen[p+PFN(i)]; dup {
+					err = fmt.Errorf("frame %d on free lists twice (orders %d and %d)", p+PFN(i), prev, o)
+					return
+				}
+				seen[p+PFN(i)] = o
+			}
+			total += PagesPerOrder(o)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if total != z.freePages {
+		return fmt.Errorf("free list total %d != freePages %d", total, z.freePages)
+	}
+	return nil
+}
+
+func offlinedPages(z *Zone) uint64 {
+	var n uint64
+	for _, e := range z.offlined {
+		n += e.Pages
+	}
+	return n
+}

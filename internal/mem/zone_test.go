@@ -1,0 +1,387 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpmmap/internal/sim"
+)
+
+func newTestZone(t *testing.T, mb uint64) *Zone {
+	t.Helper()
+	pages := (mb << 20) / PageSize
+	return NewZone(0, 0, pages)
+}
+
+func TestZoneStartsFullyCoalesced(t *testing.T) {
+	z := newTestZone(t, 64)
+	if z.FreePages() != z.Pages {
+		t.Fatalf("free %d != total %d", z.FreePages(), z.Pages)
+	}
+	if z.LargestFreeOrder() != MaxOrder {
+		t.Fatalf("largest free order %d, want %d", z.LargestFreeOrder(), MaxOrder)
+	}
+	want := int(z.Pages / PagesPerOrder(MaxOrder))
+	if got := z.FreeBlocksAt(MaxOrder); got != want {
+		t.Fatalf("max-order blocks %d, want %d", got, want)
+	}
+}
+
+func TestZoneAllocFreeRoundTrip(t *testing.T) {
+	z := newTestZone(t, 64)
+	p, ok := z.AllocPages(0)
+	if !ok {
+		t.Fatal("order-0 alloc failed on empty zone")
+	}
+	if z.FreePages() != z.Pages-1 {
+		t.Fatalf("free pages %d after one alloc", z.FreePages())
+	}
+	z.FreeBlock(p, 0)
+	if z.FreePages() != z.Pages {
+		t.Fatalf("free pages %d after free", z.FreePages())
+	}
+	if z.LargestFreeOrder() != MaxOrder {
+		t.Fatal("zone did not re-coalesce to max order")
+	}
+	if err := z.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneSplitProducesDisjointBlocks(t *testing.T) {
+	z := newTestZone(t, 64)
+	seen := map[PFN]bool{}
+	var got []PFN
+	for {
+		p, ok := z.AllocPages(LargePageOrder)
+		if !ok {
+			break
+		}
+		for i := uint64(0); i < PagesPerOrder(LargePageOrder); i++ {
+			if seen[p+PFN(i)] {
+				t.Fatalf("frame %d allocated twice", p+PFN(i))
+			}
+			seen[p+PFN(i)] = true
+		}
+		got = append(got, p)
+	}
+	if uint64(len(got)) != (64<<20)/LargePageSize {
+		t.Fatalf("allocated %d 2MB blocks from 64MB", len(got))
+	}
+	if z.FreePages() != 0 {
+		t.Fatalf("free pages %d after exhausting", z.FreePages())
+	}
+	for _, p := range got {
+		z.FreeBlock(p, LargePageOrder)
+	}
+	if z.LargestFreeOrder() != MaxOrder {
+		t.Fatal("zone did not fully coalesce after freeing all 2MB blocks")
+	}
+}
+
+func TestZoneAllocFailsWhenExhausted(t *testing.T) {
+	z := newTestZone(t, 8)
+	for {
+		if _, ok := z.AllocPages(0); !ok {
+			break
+		}
+	}
+	if _, ok := z.AllocPages(0); ok {
+		t.Fatal("alloc succeeded on exhausted zone")
+	}
+	if z.Failures < 1 {
+		t.Fatal("failure counter not incremented")
+	}
+}
+
+func TestZoneFragmentationBlocksLargeAllocs(t *testing.T) {
+	z := newTestZone(t, 8)
+	// Allocate everything as small pages, then free every other page:
+	// plenty of memory free but nothing contiguous.
+	var pages []PFN
+	for {
+		p, ok := z.AllocPages(0)
+		if !ok {
+			break
+		}
+		pages = append(pages, p)
+	}
+	for i := 0; i < len(pages); i += 2 {
+		z.FreeBlock(pages[i], 0)
+	}
+	if z.FreePages() == 0 {
+		t.Fatal("expected free memory")
+	}
+	if z.CanAlloc(LargePageOrder) {
+		t.Fatal("2MB alloc possible despite checkerboard fragmentation")
+	}
+	fi := z.FragmentationIndex(LargePageOrder)
+	if fi < 0.9 {
+		t.Fatalf("fragmentation index %v, want near 1 for checkerboard", fi)
+	}
+	if err := z.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneFragmentationIndexSignalsLowMemory(t *testing.T) {
+	z := newTestZone(t, 8)
+	for {
+		if _, ok := z.AllocPages(MaxOrder); !ok {
+			break
+		}
+	}
+	// Nothing free at all: index reports 0 (failure due to lack of memory).
+	if fi := z.FragmentationIndex(LargePageOrder); fi != 0 {
+		t.Fatalf("index on empty zone = %v, want 0", fi)
+	}
+}
+
+func TestZoneFragmentationIndexNegativeWhenSatisfiable(t *testing.T) {
+	z := newTestZone(t, 8)
+	if fi := z.FragmentationIndex(LargePageOrder); fi != -1 {
+		t.Fatalf("index on fresh zone = %v, want -1", fi)
+	}
+}
+
+func TestZonePressure(t *testing.T) {
+	z := newTestZone(t, 64)
+	if p := z.Pressure(); p != 0 {
+		t.Fatalf("fresh zone pressure %v", p)
+	}
+	// Exhaust the zone.
+	for {
+		if _, ok := z.AllocPages(MaxOrder); !ok {
+			break
+		}
+	}
+	for {
+		if _, ok := z.AllocPages(0); !ok {
+			break
+		}
+	}
+	if p := z.Pressure(); p != 1 {
+		t.Fatalf("exhausted zone pressure %v, want 1", p)
+	}
+}
+
+func TestZoneBoundsChecks(t *testing.T) {
+	z := newTestZone(t, 8)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("FreeBlock outside zone", func() { z.FreeBlock(PFN(z.Pages)+100, 0) })
+	mustPanic("FreeBlock misaligned", func() { z.FreeBlock(1, 1) })
+	mustPanic("AllocPages bad order", func() { z.AllocPages(MaxOrder + 1) })
+}
+
+func TestZoneOfflineTakesTopSections(t *testing.T) {
+	z := newTestZone(t, 512)
+	before := z.Pages
+	ext, err := z.Offline(256 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for _, e := range ext {
+		got += e.Bytes()
+		if e.Bytes() != SectionSize {
+			t.Fatalf("extent size %d, want one section", e.Bytes())
+		}
+		if e.Base < PFN(before)-PFN((256<<20)/PageSize) {
+			t.Fatalf("offline took low extent at %d; expected top of zone", e.Base)
+		}
+	}
+	if got != 256<<20 {
+		t.Fatalf("offlined %d bytes, want 256MB", got)
+	}
+	if z.Pages != before-(256<<20)/PageSize {
+		t.Fatalf("zone pages %d after offline", z.Pages)
+	}
+	if err := z.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The offlined frames must be unreachable via allocation.
+	for {
+		p, ok := z.AllocPages(MaxOrder)
+		if !ok {
+			break
+		}
+		for _, e := range ext {
+			if p >= e.Base && p < e.End() {
+				t.Fatalf("allocation returned offlined frame %d", p)
+			}
+		}
+	}
+}
+
+func TestZoneOfflineRejectsBadSizes(t *testing.T) {
+	z := newTestZone(t, 512)
+	if _, err := z.Offline(1 << 20); err == nil {
+		t.Fatal("offline of sub-section size succeeded")
+	}
+	if _, err := z.Offline(1 << 40); err == nil {
+		t.Fatal("offline of more than the zone succeeded")
+	}
+}
+
+func TestZoneOfflineZeroIsNoop(t *testing.T) {
+	z := newTestZone(t, 512)
+	ext, err := z.Offline(0)
+	if err != nil || len(ext) != 0 {
+		t.Fatalf("Offline(0) = %v, %v", ext, err)
+	}
+}
+
+// TestZoneRandomOpsInvariant is the core property test: any interleaving of
+// allocs and frees conserves pages, never double-allocates, and freeing
+// everything restores full coalescing.
+func TestZoneRandomOpsInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		z := NewZone(0, 0, (32<<20)/PageSize)
+		type block struct {
+			p     PFN
+			order int
+		}
+		var live []block
+		for op := 0; op < 2000; op++ {
+			if len(live) == 0 || r.Bool(0.55) {
+				order := r.Intn(MaxOrder + 1)
+				p, ok := z.AllocPages(order)
+				if ok {
+					live = append(live, block{p, order})
+				}
+			} else {
+				i := r.Intn(len(live))
+				b := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				z.FreeBlock(b.p, b.order)
+			}
+			var allocated uint64
+			for _, b := range live {
+				allocated += PagesPerOrder(b.order)
+			}
+			if allocated+z.FreePages() != z.Pages {
+				t.Logf("seed %d op %d: conservation violated: %d live + %d free != %d", seed, op, allocated, z.FreePages(), z.Pages)
+				return false
+			}
+		}
+		if err := z.checkInvariants(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, b := range live {
+			z.FreeBlock(b.p, b.order)
+		}
+		if z.LargestFreeOrder() != MaxOrder || z.FreePages() != z.Pages {
+			t.Logf("seed %d: zone did not re-coalesce (largest=%d free=%d)", seed, z.LargestFreeOrder(), z.FreePages())
+			return false
+		}
+		return z.checkInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZoneAllocatedBlocksDisjoint drives random allocations and verifies
+// no two live blocks ever overlap.
+func TestZoneAllocatedBlocksDisjoint(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		z := NewZone(0, 0, (16<<20)/PageSize)
+		owner := map[PFN]int{} // frame -> block id
+		type block struct {
+			p     PFN
+			order int
+		}
+		blocks := map[int]block{}
+		next := 0
+		for op := 0; op < 1000; op++ {
+			if len(blocks) == 0 || r.Bool(0.6) {
+				order := r.Intn(LargePageOrder + 1)
+				p, ok := z.AllocPages(order)
+				if !ok {
+					continue
+				}
+				for i := uint64(0); i < PagesPerOrder(order); i++ {
+					if id, dup := owner[p+PFN(i)]; dup {
+						t.Logf("seed %d: frame %d already owned by block %d", seed, p+PFN(i), id)
+						return false
+					}
+					owner[p+PFN(i)] = next
+				}
+				blocks[next] = block{p, order}
+				next++
+			} else {
+				// Free an arbitrary live block (deterministic pick).
+				var id int
+				k := r.Intn(len(blocks))
+				for bid := range blocks {
+					if k == 0 {
+						id = bid
+						break
+					}
+					k--
+				}
+				b := blocks[id]
+				delete(blocks, id)
+				for i := uint64(0); i < PagesPerOrder(b.order); i++ {
+					delete(owner, b.p+PFN(i))
+				}
+				z.FreeBlock(b.p, b.order)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZoneOfflineThenAllocStress exercises a zone after offlining: the
+// remaining span must behave like a normal (smaller) zone under churn.
+func TestZoneOfflineThenAllocStress(t *testing.T) {
+	z := NewZone(0, 0, (1<<30)/PageSize)
+	if _, err := z.Offline(512 << 20); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRand(99)
+	type blk struct {
+		p PFN
+		o int
+	}
+	var live []blk
+	for op := 0; op < 3000; op++ {
+		if len(live) == 0 || r.Bool(0.6) {
+			o := r.Intn(MaxOrder + 1)
+			if p, ok := z.AllocPages(o); ok {
+				live = append(live, blk{p, o})
+			}
+		} else {
+			i := r.Intn(len(live))
+			b := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			z.FreeBlock(b.p, b.o)
+		}
+	}
+	for _, b := range live {
+		z.FreeBlock(b.p, b.o)
+	}
+	if err := z.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if z.FreePages() != z.Pages {
+		t.Fatalf("free %d != pages %d after churn", z.FreePages(), z.Pages)
+	}
+}

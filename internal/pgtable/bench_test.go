@@ -1,0 +1,64 @@
+package pgtable
+
+import (
+	"testing"
+
+	"hpmmap/internal/mem"
+)
+
+func BenchmarkMapUnmap4K(b *testing.B) {
+	t := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		va := VirtAddr(uint64(i%4096) * mem.PageSize)
+		if err := t.Map(va, mem.PFN(i), Page4K, ProtRead|ProtWrite); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.Unmap(va, Page4K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapUnmap2M(b *testing.B) {
+	t := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		va := VirtAddr(uint64(i%512) * mem.LargePageSize)
+		if err := t.Map(va, mem.PFN(i*512), Page2M, ProtRead|ProtWrite); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.Unmap(va, Page2M); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkHit(b *testing.B) {
+	t := New()
+	for i := 0; i < 512; i++ {
+		if err := t.Map(VirtAddr(uint64(i)*mem.LargePageSize), mem.PFN(i*512), Page2M, ProtRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Walk(VirtAddr(uint64(i%512) * mem.LargePageSize)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSplit2M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		t := New()
+		if err := t.Map(0, 0, Page2M, ProtRead|ProtWrite); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := t.Split2M(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package pgtable implements x86-64 4-level page tables (PML4 → PDPT → PD
+// → PT) as explicit radix-tree data structures. Mappings can be installed
+// at 4KB (PT), 2MB (PD) and 1GB (PDPT) granularity, walked, protected,
+// split and torn down, with table-page accounting — everything both the
+// Linux-model fault handlers and HPMMAP's lightweight paging scheme need.
+package pgtable
+
+import (
+	"fmt"
+
+	"hpmmap/internal/mem"
+)
+
+// VirtAddr is a canonical 48-bit virtual address.
+type VirtAddr uint64
+
+// Prot is a permission bit set.
+type Prot uint8
+
+// Permission bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+	// ProtLocked marks the mapping as pinned in RAM (mlock).
+	ProtLocked
+)
+
+// PageSize selects a mapping granularity.
+type PageSize int
+
+// Mapping granularities.
+const (
+	Page4K PageSize = iota
+	Page2M
+	Page1G
+)
+
+// Bytes returns the byte size of the page.
+func (ps PageSize) Bytes() uint64 {
+	switch ps {
+	case Page4K:
+		return mem.PageSize
+	case Page2M:
+		return mem.LargePageSize
+	case Page1G:
+		return mem.HugePageSize
+	}
+	panic(fmt.Sprintf("pgtable: bad page size %d", ps))
+}
+
+func (ps PageSize) String() string {
+	switch ps {
+	case Page4K:
+		return "4KB"
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return "?"
+}
+
+// Levels of the radix tree, numbered from the root: 0=PML4, 1=PDPT, 2=PD,
+// 3=PT. A 1GB mapping terminates at level 1, 2MB at level 2, 4KB at 3.
+const (
+	levelPML4 = 0
+	levelPDPT = 1
+	levelPD   = 2
+	levelPT   = 3
+	numLevels = 4
+)
+
+// shiftFor returns the address shift of the given level's index field.
+func shiftFor(level int) uint { return uint(39 - 9*level) }
+
+func indexAt(va VirtAddr, level int) int {
+	return int((uint64(va) >> shiftFor(level)) & 0x1ff)
+}
+
+// levelFor returns the tree level at which a page of the given size maps.
+func levelFor(ps PageSize) int {
+	switch ps {
+	case Page4K:
+		return levelPT
+	case Page2M:
+		return levelPD
+	case Page1G:
+		return levelPDPT
+	}
+	panic("pgtable: bad page size")
+}
+
+// entry is one slot of a table node.
+type entry struct {
+	present bool
+	leaf    bool // terminal mapping (possibly large) rather than a child table
+	pfn     mem.PFN
+	prot    Prot
+	child   *node
+}
+
+// node is one 4KB table page holding 512 entries.
+type node struct {
+	slots [512]entry
+	live  int // number of present entries
+}
+
+// Table is one process address space's page-table tree.
+type Table struct {
+	root *node
+
+	// Accounting, visible to cost models and tests.
+	Mapped4K    uint64
+	Mapped2M    uint64
+	Mapped1G    uint64
+	TablePages  uint64 // number of table nodes, including the root
+	MapOps      uint64
+	UnmapOps    uint64
+	SplitOps    uint64
+	WalkedSlots uint64 // total slots touched by Walk (hardware walk cost proxy)
+}
+
+// New returns an empty address space.
+func New() *Table {
+	return &Table{root: &node{}, TablePages: 1}
+}
+
+// MappedBytes returns the total bytes currently mapped.
+func (t *Table) MappedBytes() uint64 {
+	return t.Mapped4K*mem.PageSize + t.Mapped2M*mem.LargePageSize + t.Mapped1G*mem.HugePageSize
+}
+
+// MappedPages returns the number of leaf mappings of the given size.
+func (t *Table) MappedPages(ps PageSize) uint64 {
+	switch ps {
+	case Page4K:
+		return t.Mapped4K
+	case Page2M:
+		return t.Mapped2M
+	default:
+		return t.Mapped1G
+	}
+}
+
+func checkAligned(va VirtAddr, ps PageSize) error {
+	if uint64(va)%ps.Bytes() != 0 {
+		return fmt.Errorf("pgtable: address %#x not aligned to %s", uint64(va), ps)
+	}
+	return nil
+}
+
+// Map installs a leaf mapping of the given size at va. It fails if any
+// part of the range is already mapped (at any granularity) — callers
+// unmap first, as the kernel does.
+func (t *Table) Map(va VirtAddr, pfn mem.PFN, ps PageSize, prot Prot) error {
+	if err := checkAligned(va, ps); err != nil {
+		return err
+	}
+	target := levelFor(ps)
+	n := t.root
+	for level := 0; level < target; level++ {
+		e := &n.slots[indexAt(va, level)]
+		if e.present && e.leaf {
+			return fmt.Errorf("pgtable: %#x already covered by a %s mapping", uint64(va), leafSize(level))
+		}
+		if !e.present {
+			e.present = true
+			e.leaf = false
+			e.child = &node{}
+			n.live++
+			t.TablePages++
+		}
+		n = e.child
+	}
+	e := &n.slots[indexAt(va, target)]
+	if e.present {
+		if e.leaf {
+			return fmt.Errorf("pgtable: %#x already mapped", uint64(va))
+		}
+		return fmt.Errorf("pgtable: %#x has smaller mappings below; unmap before mapping %s", uint64(va), ps)
+	}
+	e.present = true
+	e.leaf = true
+	e.pfn = pfn
+	e.prot = prot
+	n.live++
+	t.MapOps++
+	switch ps {
+	case Page4K:
+		t.Mapped4K++
+	case Page2M:
+		t.Mapped2M++
+	case Page1G:
+		t.Mapped1G++
+	}
+	return nil
+}
+
+func leafSize(level int) PageSize {
+	switch level {
+	case levelPDPT:
+		return Page1G
+	case levelPD:
+		return Page2M
+	default:
+		return Page4K
+	}
+}
+
+// Mapping describes the result of a successful walk.
+type Mapping struct {
+	PFN    mem.PFN
+	Size   PageSize
+	Prot   Prot
+	Levels int // table levels traversed (hardware walk depth)
+}
+
+// Walk resolves va. The boolean reports whether a mapping is present.
+// Walk also accumulates the WalkedSlots counter used as a page-walk cost
+// proxy by the TLB-miss model.
+func (t *Table) Walk(va VirtAddr) (Mapping, bool) {
+	n := t.root
+	for level := 0; level < numLevels; level++ {
+		t.WalkedSlots++
+		e := &n.slots[indexAt(va, level)]
+		if !e.present {
+			return Mapping{Levels: level + 1}, false
+		}
+		if e.leaf {
+			return Mapping{PFN: e.pfn, Size: leafSize(level), Prot: e.prot, Levels: level + 1}, true
+		}
+		n = e.child
+	}
+	panic("pgtable: walk fell off the tree") // unreachable: PT entries are always leaves
+}
+
+// Translate returns the physical frame backing va along with the byte
+// offset's frame, for convenience in data-path models.
+func (t *Table) Translate(va VirtAddr) (mem.PFN, bool) {
+	m, ok := t.Walk(va)
+	if !ok {
+		return 0, false
+	}
+	base := uint64(va) &^ (m.Size.Bytes() - 1)
+	off := uint64(va) - base
+	return m.PFN + mem.PFN(off/mem.PageSize), true
+}
+
+// Unmap removes the leaf mapping of the given size at va and returns its
+// frame. It fails if the range is mapped at a different granularity.
+func (t *Table) Unmap(va VirtAddr, ps PageSize) (mem.PFN, error) {
+	if err := checkAligned(va, ps); err != nil {
+		return 0, err
+	}
+	target := levelFor(ps)
+	path := make([]*node, 0, numLevels)
+	n := t.root
+	for level := 0; level < target; level++ {
+		path = append(path, n)
+		e := &n.slots[indexAt(va, level)]
+		if !e.present || e.leaf {
+			return 0, fmt.Errorf("pgtable: %#x not mapped as %s", uint64(va), ps)
+		}
+		n = e.child
+	}
+	e := &n.slots[indexAt(va, target)]
+	if !e.present || !e.leaf {
+		return 0, fmt.Errorf("pgtable: %#x not mapped as %s", uint64(va), ps)
+	}
+	pfn := e.pfn
+	*e = entry{}
+	n.live--
+	t.UnmapOps++
+	switch ps {
+	case Page4K:
+		t.Mapped4K--
+	case Page2M:
+		t.Mapped2M--
+	case Page1G:
+		t.Mapped1G--
+	}
+	// Prune empty tables bottom-up.
+	for level := target - 1; level >= 0; level-- {
+		parent := path[level]
+		e := &parent.slots[indexAt(va, level)]
+		if e.child.live > 0 {
+			break
+		}
+		*e = entry{}
+		parent.live--
+		t.TablePages--
+	}
+	return pfn, nil
+}
+
+// Protect updates the permissions of the leaf covering va. Reports the
+// mapping's size so callers can iterate ranges.
+func (t *Table) Protect(va VirtAddr, prot Prot) (PageSize, error) {
+	n := t.root
+	for level := 0; level < numLevels; level++ {
+		e := &n.slots[indexAt(va, level)]
+		if !e.present {
+			return 0, fmt.Errorf("pgtable: %#x not mapped", uint64(va))
+		}
+		if e.leaf {
+			e.prot = prot
+			return leafSize(level), nil
+		}
+		n = e.child
+	}
+	panic("pgtable: protect fell off the tree")
+}
+
+// Split2M replaces the 2MB leaf at va with a PT of 512 4KB leaves covering
+// the same frames with the same protections — the operation THP performs
+// when a large page must be pinned or partially unmapped. The new PT page
+// is accounted.
+func (t *Table) Split2M(va VirtAddr) error {
+	if err := checkAligned(va, Page2M); err != nil {
+		return err
+	}
+	n := t.root
+	for level := 0; level < levelPD; level++ {
+		e := &n.slots[indexAt(va, level)]
+		if !e.present || e.leaf {
+			return fmt.Errorf("pgtable: %#x not mapped as 2MB", uint64(va))
+		}
+		n = e.child
+	}
+	e := &n.slots[indexAt(va, levelPD)]
+	if !e.present || !e.leaf {
+		return fmt.Errorf("pgtable: %#x not mapped as 2MB", uint64(va))
+	}
+	pt := &node{}
+	for i := 0; i < 512; i++ {
+		pt.slots[i] = entry{present: true, leaf: true, pfn: e.pfn + mem.PFN(i), prot: e.prot}
+	}
+	pt.live = 512
+	e.leaf = false
+	e.pfn = 0
+	e.child = pt
+	e.prot = 0
+	t.TablePages++
+	t.SplitOps++
+	t.Mapped2M--
+	t.Mapped4K += 512
+	return nil
+}
+
+// Range calls fn for every leaf mapping with start address and mapping,
+// in ascending address order. Returning false stops the iteration.
+func (t *Table) Range(fn func(va VirtAddr, m Mapping) bool) {
+	var walk func(n *node, level int, prefix uint64) bool
+	walk = func(n *node, level int, prefix uint64) bool {
+		for i := 0; i < 512; i++ {
+			e := &n.slots[i]
+			if !e.present {
+				continue
+			}
+			va := prefix | uint64(i)<<shiftFor(level)
+			if e.leaf {
+				if !fn(VirtAddr(va), Mapping{PFN: e.pfn, Size: leafSize(level), Prot: e.prot, Levels: level + 1}) {
+					return false
+				}
+				continue
+			}
+			if !walk(e.child, level+1, va) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root, 0, 0)
+}
+
+// UnmapRange removes every leaf mapping that starts inside
+// [start, start+length) and returns the released frames with their sizes.
+// Mappings straddling the range boundary are not supported (callers align
+// ranges to mapping boundaries, as the VMA layer guarantees).
+func (t *Table) UnmapRange(start VirtAddr, length uint64) []ReleasedPage {
+	var released []ReleasedPage
+	type target struct {
+		va VirtAddr
+		ps PageSize
+	}
+	var targets []target
+	t.Range(func(va VirtAddr, m Mapping) bool {
+		if uint64(va) >= uint64(start) && uint64(va) < uint64(start)+length {
+			targets = append(targets, target{va, m.Size})
+		}
+		return true
+	})
+	for _, tg := range targets {
+		pfn, err := t.Unmap(tg.va, tg.ps)
+		if err != nil {
+			panic("pgtable: UnmapRange lost a mapping: " + err.Error())
+		}
+		released = append(released, ReleasedPage{VA: tg.va, PFN: pfn, Size: tg.ps})
+	}
+	return released
+}
+
+// ReleasedPage reports one unmapped leaf.
+type ReleasedPage struct {
+	VA   VirtAddr
+	PFN  mem.PFN
+	Size PageSize
+}

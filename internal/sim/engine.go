@@ -1,0 +1,221 @@
+// Package sim provides the deterministic discrete-event simulation core
+// used by every other subsystem in the HPMMAP reproduction: a 64-bit cycle
+// clock, a binary-heap event queue, and seedable pseudo-random number
+// generation with the distributions the cost models need.
+//
+// All simulated time is measured in CPU cycles. Converting to seconds is
+// the responsibility of the machine configuration (see internal/kernel).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Cycles is a point in (or duration of) simulated time, in CPU cycles.
+type Cycles uint64
+
+// Seconds converts a cycle count to seconds at the given clock rate in Hz.
+func (c Cycles) Seconds(hz float64) float64 {
+	return float64(c) / hz
+}
+
+// event is a scheduled callback.
+type event struct {
+	at   Cycles
+	seq  uint64 // tie-breaker: FIFO among events at the same cycle
+	fn   func()
+	heap *eventHeap
+	idx  int // index in the heap, -1 when popped or cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (id EventID) Cancelled() bool { return id.ev == nil || id.ev.idx < 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; parallelism in the simulated system is expressed as
+// interleaved events, which keeps runs bit-for-bit deterministic for a
+// given seed.
+type Engine struct {
+	now    Cycles
+	queue  eventHeap
+	seq    uint64
+	nexec  uint64
+	halted bool
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nexec }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay cycles. fn runs with the engine clock set to
+// the scheduled time. Scheduling at delay 0 runs fn after all other work
+// already scheduled for the current cycle.
+func (e *Engine) Schedule(delay Cycles, fn func()) EventID {
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. If t is in the past it runs at the current
+// time (events never run backwards).
+func (e *Engine) At(t Cycles, fn func()) EventID {
+	if fn == nil {
+		panic("sim: Schedule/At with nil fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn, heap: &e.queue}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op. Reports whether the event was
+// actually removed.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.idx < 0 || ev.heap != &e.queue {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	return true
+}
+
+// Step executes the single next event. Reports false when the queue is
+// empty or the engine is halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.nexec++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the engine halts.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving the clock
+// at min(deadline, time of last executed event ... ) — precisely: after
+// RunUntil the clock is deadline if any event beyond it remains, else the
+// time of the final event.
+func (e *Engine) RunUntil(deadline Cycles) {
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && (len(e.queue) > 0 || e.halted) {
+		e.now = deadline
+	}
+}
+
+// Halt stops the engine: Step and Run return immediately. Pending events
+// remain queued (useful for post-mortem inspection in tests).
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt was called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// String summarizes engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%d pending=%d executed=%d}", e.now, len(e.queue), e.nexec)
+}
+
+// Ticker invokes fn every period cycles until Stop is called or the engine
+// drains. The first invocation happens one period from creation.
+type Ticker struct {
+	eng     *Engine
+	period  Cycles
+	fn      func()
+	stopped bool
+	next    EventID
+}
+
+// NewTicker starts a periodic callback. period must be > 0.
+func (e *Engine) NewTicker(period Cycles, fn func()) *Ticker {
+	if period == 0 {
+		panic("sim: NewTicker with zero period")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.eng.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.eng.Cancel(t.next)
+}
+
+// SaturatingAdd returns a+b clamped to the maximum Cycles value.
+func SaturatingAdd(a, b Cycles) Cycles {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}

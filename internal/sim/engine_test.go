@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	e.Run()
+	if e.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", e.Now())
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("Executed = %d, want 0", e.Executed())
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinSameCycle(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-cycle events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Cycles
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() { hits = append(hits, e.Now()) })
+		e.Schedule(0, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 3 || hits[0] != 10 || hits[1] != 10 || hits[2] != 15 {
+		t.Fatalf("hits = %v, want [10 10 15]", hits)
+	}
+}
+
+func TestEngineAtPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Cycles
+	e.Schedule(100, func() {
+		e.At(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event ran at %d, want 100", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(10, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for live event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !id.Cancelled() {
+		t.Fatal("Cancelled() = false after cancel")
+	}
+}
+
+func TestEngineCancelAmongMany(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var ids []EventID
+	for i := 0; i < 20; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Cycles(i+1), func() { fired = append(fired, i) }))
+	}
+	// Cancel the even ones.
+	for i := 0; i < 20; i += 2 {
+		e.Cancel(ids[i])
+	}
+	e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10", len(fired))
+	}
+	for _, v := range fired {
+		if v%2 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycles
+	for _, d := range []Cycles{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %d after RunUntil(12) with pending work, want 12", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 || e.Now() != 20 {
+		t.Fatalf("after Run: fired=%v now=%d", fired, e.Now())
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++; e.Halt() })
+	e.Schedule(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("executed %d events after halt, want 1", n)
+	}
+	if !e.Halted() {
+		t.Fatal("Halted() = false")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Cycles
+	var tk *Ticker
+	tk = e.NewTicker(10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(ticks))
+	}
+	for i, at := range []Cycles{10, 20, 30} {
+		if ticks[i] != at {
+			t.Fatalf("ticks = %v", ticks)
+		}
+	}
+}
+
+func TestTickerStopIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	tk := e.NewTicker(10, func() {})
+	tk.Stop()
+	tk.Stop()
+	e.Run()
+	if e.Executed() != 0 {
+		t.Fatalf("stopped ticker executed %d events", e.Executed())
+	}
+}
+
+func TestSaturatingAdd(t *testing.T) {
+	if got := SaturatingAdd(1, 2); got != 3 {
+		t.Fatalf("SaturatingAdd(1,2) = %d", got)
+	}
+	max := Cycles(^uint64(0))
+	if got := SaturatingAdd(max-1, 5); got != max {
+		t.Fatalf("SaturatingAdd overflow = %d, want max", got)
+	}
+}
+
+func TestCyclesSeconds(t *testing.T) {
+	c := Cycles(2_200_000_000)
+	if s := c.Seconds(2.2e9); s < 0.999 || s > 1.001 {
+		t.Fatalf("Seconds = %v, want ~1", s)
+	}
+}
+
+func TestDeterminismAcrossEngines(t *testing.T) {
+	run := func() []Cycles {
+		e := NewEngine()
+		r := NewRand(42)
+		var trace []Cycles
+		var step func()
+		step = func() {
+			trace = append(trace, e.Now())
+			if len(trace) < 100 {
+				e.Schedule(Cycles(r.Uint64n(1000)+1), step)
+			}
+		}
+		e.Schedule(1, step)
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

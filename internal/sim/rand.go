@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a small, fast, deterministic PRNG (xoshiro256** seeded via
+// SplitMix64). The simulator cannot use math/rand's global state because
+// independent subsystems must be able to draw from independent streams
+// without perturbing each other across code changes.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from a single 64-bit seed.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// splitmix64 advances the SplitMix64 state and returns (newState, output).
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Split returns a new generator whose stream is a deterministic function of
+// this generator's state, advancing this generator once. Use it to hand
+// independent streams to subsystems.
+func (r *Rand) Split() *Rand { return NewRand(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n(0)")
+	}
+	// Lemire's bounded generation with a rejection loop on the biased zone.
+	threshold := (-n) % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller; one value per call, the pair's second
+// half is discarded to keep draws independent of call sites).
+func (r *Rand) Normal(mean, stdev float64) float64 {
+	if stdev <= 0 {
+		return mean
+	}
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stdev*z
+}
+
+// PositiveNormal samples Normal(mean, stdev) truncated below at min.
+func (r *Rand) PositiveNormal(mean, stdev, min float64) float64 {
+	v := r.Normal(mean, stdev)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// LogNormal returns a log-normally distributed value parameterized by the
+// underlying normal's mu and sigma.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Pareto returns a Pareto(xm, alpha) heavy-tailed value; used for reclaim
+// storm durations.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// CyclesNormal draws a truncated normal and converts to Cycles.
+func (r *Rand) CyclesNormal(mean, stdev, min float64) Cycles {
+	return Cycles(r.PositiveNormal(mean, stdev, min))
+}
+
+// Jitter returns base scaled by a uniform factor in [1-f, 1+f].
+func (r *Rand) Jitter(base Cycles, f float64) Cycles {
+	if f <= 0 {
+		return base
+	}
+	scale := 1 - f + 2*f*r.Float64()
+	v := float64(base) * scale
+	if v < 0 {
+		return 0
+	}
+	return Cycles(v)
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRandZeroSeedWorks(t *testing.T) {
+	r := NewRand(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := NewRand(3)
+	err := quick.Check(func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nCoversRange(t *testing.T) {
+	r := NewRand(9)
+	seen := make([]bool, 8)
+	for i := 0; i < 1000; i++ {
+		seen[r.Uint64n(8)] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d never drawn in 1000 tries", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := NewRand(13)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if trues < 2700 || trues > 3300 {
+		t.Fatalf("Bool(0.3) frequency %d/10000, want ~3000", trues)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(17)
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(100, 15)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	stdev := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-100) > 0.5 {
+		t.Fatalf("Normal mean = %v, want ~100", mean)
+	}
+	if math.Abs(stdev-15) > 0.5 {
+		t.Fatalf("Normal stdev = %v, want ~15", stdev)
+	}
+}
+
+func TestNormalZeroStdev(t *testing.T) {
+	r := NewRand(19)
+	if v := r.Normal(5, 0); v != 5 {
+		t.Fatalf("Normal(5,0) = %v", v)
+	}
+}
+
+func TestPositiveNormalTruncates(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 10000; i++ {
+		if v := r.PositiveNormal(10, 50, 1); v < 1 {
+			t.Fatalf("PositiveNormal below floor: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(29)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(250)
+	}
+	mean := sum / n
+	if math.Abs(mean-250) > 10 {
+		t.Fatalf("Exponential mean = %v, want ~250", mean)
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	r := NewRand(31)
+	if v := r.Exponential(0); v != 0 {
+		t.Fatalf("Exponential(0) = %v", v)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := NewRand(37)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(100, 1.5); v < 100 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRand(41)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(1, 2); v <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", v)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRand(43)
+	base := Cycles(1000)
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(base, 0.2)
+		if v < 800 || v > 1200 {
+			t.Fatalf("Jitter out of [800,1200]: %d", v)
+		}
+	}
+	if v := r.Jitter(base, 0); v != base {
+		t.Fatalf("Jitter(f=0) = %d, want %d", v, base)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRand(47)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams collided %d/100 times", same)
+	}
+}
+
+func TestCyclesNormalFloor(t *testing.T) {
+	r := NewRand(53)
+	for i := 0; i < 1000; i++ {
+		if v := r.CyclesNormal(10, 100, 2); v < 2 {
+			t.Fatalf("CyclesNormal below floor: %d", v)
+		}
+	}
+}

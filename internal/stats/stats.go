@@ -1,0 +1,164 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming mean/stdev accumulators, percentiles, and
+// formatted summaries over repeated runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Stdev returns the population standard deviation.
+func (s *Sample) Stdev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), s.xs...)
+	sort.Float64s(xs)
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[len(xs)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return xs[rank]
+}
+
+// CV returns the coefficient of variation (stdev/mean), the variance
+// metric the paper's error bars communicate.
+func (s *Sample) CV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Stdev() / m
+}
+
+// String renders "mean ± stdev (n=N)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean(), s.Stdev(), s.N())
+}
+
+// RelativeImprovement returns how much faster a is than b, as a fraction
+// of b: (b-a)/b. Positive means a wins.
+func RelativeImprovement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (b - a) / b
+}
+
+// Welch performs Welch's unequal-variance t-test between two samples and
+// returns the t statistic and approximate degrees of freedom
+// (Welch–Satterthwaite). The experiment reports use it to state whether a
+// manager comparison is resolved above run-to-run noise.
+func Welch(a, b *Sample) (t, df float64) {
+	na, nb := float64(a.N()), float64(b.N())
+	if na < 2 || nb < 2 {
+		return 0, 0
+	}
+	va := a.Stdev() * a.Stdev() * na / (na - 1) // sample variance
+	vb := b.Stdev() * b.Stdev() * nb / (nb - 1)
+	sa, sb := va/na, vb/nb
+	denom := math.Sqrt(sa + sb)
+	if denom == 0 {
+		return 0, 0
+	}
+	t = (a.Mean() - b.Mean()) / denom
+	dfDenom := sa*sa/(na-1) + sb*sb/(nb-1)
+	if dfDenom == 0 {
+		return t, na + nb - 2
+	}
+	df = (sa + sb) * (sa + sb) / dfDenom
+	return t, df
+}
+
+// Significant reports whether the two samples' means differ at roughly
+// the 99% level (|t| above the t-distribution's 0.005 tail for the given
+// degrees of freedom, conservatively approximated).
+func Significant(a, b *Sample) bool {
+	t, df := Welch(a, b)
+	if df <= 0 {
+		return false
+	}
+	// Conservative critical values for alpha=0.01 two-sided.
+	crit := 3.5
+	switch {
+	case df >= 30:
+		crit = 2.75
+	case df >= 10:
+		crit = 3.17
+	}
+	return math.Abs(t) > crit
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stdev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample not all zero")
+	}
+	if s.N() != 0 {
+		t.Fatal("empty N")
+	}
+}
+
+func TestMoments(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if s.Stdev() != 2 {
+		t.Fatalf("stdev %v", s.Stdev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if s.CV() != 0.4 {
+		t.Fatalf("cv %v", s.CV())
+	}
+	if s.N() != 8 {
+		t.Fatalf("n %d", s.N())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Stdev() != 0 {
+		t.Fatal("stdev of one point")
+	}
+	if s.Mean() != 3 || s.Percentile(99) != 3 {
+		t.Fatal("single-point stats")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(95); p != 95 {
+		t.Fatalf("p95 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	// Percentile must not mutate the sample order's semantics.
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatal("percentile corrupted sample")
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	check := func(vals []float64, p float64) bool {
+		var s Sample
+		ok := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		q := math.Mod(math.Abs(p), 100)
+		got := s.Percentile(q)
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeImprovement(t *testing.T) {
+	if got := RelativeImprovement(80, 100); got != 0.2 {
+		t.Fatalf("improvement %v", got)
+	}
+	if got := RelativeImprovement(100, 80); got != -0.25 {
+		t.Fatalf("regression %v", got)
+	}
+	if got := RelativeImprovement(1, 0); got != 0 {
+		t.Fatalf("div-by-zero guard %v", got)
+	}
+}
+
+func TestCVZeroMean(t *testing.T) {
+	var s Sample
+	s.Add(0)
+	s.Add(0)
+	if s.CV() != 0 {
+		t.Fatal("CV with zero mean")
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); got != "2.00 ± 1.00 (n=2)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestWelch(t *testing.T) {
+	var a, b Sample
+	for i := 0; i < 10; i++ {
+		a.Add(100 + float64(i%3))
+		b.Add(120 + float64(i%3))
+	}
+	tv, df := Welch(&a, &b)
+	if tv >= 0 {
+		t.Fatalf("t = %v, want negative (a < b)", tv)
+	}
+	if df <= 0 {
+		t.Fatalf("df = %v", df)
+	}
+	if !Significant(&a, &b) {
+		t.Fatal("20%% gap with tiny variance not significant")
+	}
+	// Identical distributions: not significant.
+	var c, d Sample
+	for i := 0; i < 10; i++ {
+		c.Add(100 + float64(i%5))
+		d.Add(100 + float64((i+2)%5))
+	}
+	if Significant(&c, &d) {
+		t.Fatal("same-mean samples reported significant")
+	}
+	// Degenerate sizes.
+	var e Sample
+	e.Add(1)
+	if tv, df := Welch(&e, &a); tv != 0 || df != 0 {
+		t.Fatal("single-observation sample should yield zeros")
+	}
+	if Significant(&e, &a) {
+		t.Fatal("undersized sample reported significant")
+	}
+}

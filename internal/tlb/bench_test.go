@@ -1,0 +1,31 @@
+package tlb
+
+import (
+	"testing"
+
+	"hpmmap/internal/pgtable"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	t := MustNew(DefaultConfig())
+	t.Access(0x1000, pgtable.Page4K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(0x1000, pgtable.Page4K)
+	}
+}
+
+func BenchmarkAccessStreaming4K(b *testing.B) {
+	t := MustNew(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(uint64(i)*4096, pgtable.Page4K)
+	}
+}
+
+func BenchmarkMissRateAnalytic(b *testing.B) {
+	c := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		_ = c.MissRate(12<<30, pgtable.Page4K, 0.75)
+	}
+}

@@ -1,0 +1,300 @@
+// Package tlb models a split x86-64 translation lookaside buffer: separate
+// 4KB and large-page arrays, set-associative with LRU replacement. It
+// provides both a concrete per-access simulator (used at micro scale and
+// in tests) and an analytic miss-rate estimator (used by the application
+// cost model, where simulating 10^11 individual accesses is infeasible).
+package tlb
+
+import (
+	"fmt"
+
+	"hpmmap/internal/pgtable"
+)
+
+// Config sizes the TLB. The defaults mirror the Opteron 4174 / Xeon X5570
+// class hardware in the paper's testbeds.
+type Config struct {
+	Entries4K int // total 4KB-page entries
+	Entries2M int // total large-page entries (2MB and 1GB share it here)
+	Assoc     int // associativity (ways); must divide both entry counts
+}
+
+// DefaultConfig returns a typical 2010-era server TLB: 512 4KB entries,
+// 32 large-page entries, 4-way.
+func DefaultConfig() Config {
+	return Config{Entries4K: 512, Entries2M: 32, Assoc: 4}
+}
+
+func (c Config) validate() error {
+	if c.Assoc <= 0 || c.Entries4K <= 0 || c.Entries2M <= 0 {
+		return fmt.Errorf("tlb: non-positive config %+v", c)
+	}
+	if c.Entries4K%c.Assoc != 0 || c.Entries2M%c.Assoc != 0 {
+		return fmt.Errorf("tlb: associativity %d does not divide entry counts", c.Assoc)
+	}
+	return nil
+}
+
+// Reach returns the bytes covered by a fully populated TLB at the given
+// page size.
+func (c Config) Reach(ps pgtable.PageSize) uint64 {
+	if ps == pgtable.Page4K {
+		return uint64(c.Entries4K) * ps.Bytes()
+	}
+	return uint64(c.Entries2M) * ps.Bytes()
+}
+
+// way is one entry of a set.
+type way struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last-use stamp
+}
+
+// array is one of the two split arrays.
+type array struct {
+	sets  [][]way
+	shift uint
+	mask  uint64
+	clock uint64
+
+	Hits, Misses uint64
+}
+
+func newArray(entries, assoc int, pageShift uint) *array {
+	nsets := entries / assoc
+	a := &array{shift: pageShift, mask: uint64(nsets - 1)}
+	if nsets&(nsets-1) != 0 {
+		// Non-power-of-two set counts index by modulo instead of mask.
+		a.mask = 0
+	}
+	a.sets = make([][]way, nsets)
+	for i := range a.sets {
+		a.sets[i] = make([]way, assoc)
+	}
+	return a
+}
+
+func (a *array) setIndex(vpn uint64) int {
+	if a.mask != 0 {
+		return int(vpn & a.mask)
+	}
+	return int(vpn % uint64(len(a.sets)))
+}
+
+// access looks up the page of va; on miss the entry is filled. Reports
+// whether the access hit.
+func (a *array) access(va uint64) bool {
+	a.clock++
+	vpn := va >> a.shift
+	set := a.sets[a.setIndex(vpn)]
+	victim := 0
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == vpn {
+			w.lru = a.clock
+			a.Hits++
+			return true
+		}
+		if !set[victim].valid {
+			continue
+		}
+		if !w.valid || w.lru < set[victim].lru {
+			victim = i
+		}
+	}
+	a.Misses++
+	set[victim] = way{tag: vpn, valid: true, lru: a.clock}
+	return false
+}
+
+// flushPage invalidates the entry covering va, if present.
+func (a *array) flushPage(va uint64) {
+	vpn := va >> a.shift
+	set := a.sets[a.setIndex(vpn)]
+	for i := range set {
+		if set[i].valid && set[i].tag == vpn {
+			set[i].valid = false
+		}
+	}
+}
+
+func (a *array) flush() {
+	for _, set := range a.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// TLB is a split translation cache.
+type TLB struct {
+	cfg   Config
+	small *array // 4KB translations
+	large *array // 2MB/1GB translations
+}
+
+// New builds a TLB from the config.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &TLB{
+		cfg:   cfg,
+		small: newArray(cfg.Entries4K, cfg.Assoc, 12),
+		large: newArray(cfg.Entries2M, cfg.Assoc, 21),
+	}, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Access simulates a data access to va translated at the given page size.
+// Reports whether the translation hit.
+func (t *TLB) Access(va uint64, ps pgtable.PageSize) bool {
+	if ps == pgtable.Page4K {
+		return t.small.access(va)
+	}
+	return t.large.access(va)
+}
+
+// FlushPage invalidates the translation covering va at the given size
+// (invlpg).
+func (t *TLB) FlushPage(va uint64, ps pgtable.PageSize) {
+	if ps == pgtable.Page4K {
+		t.small.flushPage(va)
+		return
+	}
+	t.large.flushPage(va)
+}
+
+// Flush empties the whole TLB (CR3 write / context switch without PCID —
+// the common case on the paper's kernels).
+func (t *TLB) Flush() {
+	t.small.flush()
+	t.large.flush()
+}
+
+// Stats returns (hits, misses) for the given page-size class.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// ArrayStats returns hit/miss counts for the array serving ps.
+func (t *TLB) ArrayStats(ps pgtable.PageSize) Stats {
+	if ps == pgtable.Page4K {
+		return Stats{t.small.Hits, t.small.Misses}
+	}
+	return Stats{t.large.Hits, t.large.Misses}
+}
+
+// MissRate analytically estimates the per-access TLB miss probability of a
+// workload with the given resident footprint, translated at page size ps,
+// with the given locality in [0,1). Locality is the probability that an
+// access falls on a "hot" recently-touched page regardless of footprint
+// (capturing loop/blocking reuse). The cold fraction spreads uniformly
+// over the footprint and misses in proportion to how far the footprint
+// exceeds the TLB reach.
+func (c Config) MissRate(footprint uint64, ps pgtable.PageSize, locality float64) float64 {
+	if footprint == 0 {
+		return 0
+	}
+	if locality < 0 {
+		locality = 0
+	}
+	if locality > 0.999 {
+		locality = 0.999
+	}
+	reach := c.Reach(ps)
+	if footprint <= reach {
+		// Fits: only compulsory/conflict noise. A small floor keeps the
+		// model continuous.
+		return (1 - locality) * 0.001
+	}
+	uncovered := 1 - float64(reach)/float64(footprint)
+	return (1 - locality) * uncovered
+}
+
+// --- Two-level hierarchy ----------------------------------------------------
+
+// HierarchyConfig adds a shared second-level TLB (the STLB of Nehalem-
+// class parts) behind the split L1 arrays.
+type HierarchyConfig struct {
+	L1 Config
+	// L2Entries is the shared second-level capacity (4KB-entry
+	// granularity; large pages occupy it too on the parts we model).
+	L2Entries int
+	L2Assoc   int
+}
+
+// DefaultHierarchy mirrors the Xeon X5570: 64+32 L1 entries, 512-entry
+// shared STLB.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1:        Config{Entries4K: 64, Entries2M: 32, Assoc: 4},
+		L2Entries: 512,
+		L2Assoc:   4,
+	}
+}
+
+// Level identifies where a translation was found.
+type Level int
+
+// Lookup outcomes.
+const (
+	HitL1 Level = iota
+	HitL2
+	Miss
+)
+
+// Hierarchy is a two-level TLB.
+type Hierarchy struct {
+	l1 *TLB
+	l2 *array
+
+	// Statistics.
+	L1Hits, L2Hits, Misses uint64
+}
+
+// NewHierarchy builds the two-level structure.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1, err := New(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.L2Entries <= 0 || cfg.L2Assoc <= 0 || cfg.L2Entries%cfg.L2Assoc != 0 {
+		return nil, fmt.Errorf("tlb: bad L2 geometry %d/%d", cfg.L2Entries, cfg.L2Assoc)
+	}
+	return &Hierarchy{l1: l1, l2: newArray(cfg.L2Entries, cfg.L2Assoc, 12)}, nil
+}
+
+// Access walks the hierarchy for a data access at the given translation
+// granularity, filling both levels on the way out.
+func (h *Hierarchy) Access(va uint64, ps pgtable.PageSize) Level {
+	if h.l1.Access(va, ps) {
+		h.L1Hits++
+		return HitL1
+	}
+	// The STLB indexes at 4KB granularity regardless of page size.
+	if h.l2.access(va) {
+		h.L2Hits++
+		return HitL2
+	}
+	h.Misses++
+	return Miss
+}
+
+// Flush empties both levels.
+func (h *Hierarchy) Flush() {
+	h.l1.Flush()
+	h.l2.flush()
+}

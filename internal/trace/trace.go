@@ -1,0 +1,262 @@
+// Package trace captures per-fault records during micro-level experiments
+// and renders them as the paper's tables (Figures 2–3) and timeline
+// scatter plots (Figures 4–5), in ASCII and CSV form.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"hpmmap/internal/fault"
+	"hpmmap/internal/sim"
+)
+
+// Recorder accumulates fault records in completion order.
+type Recorder struct {
+	records []fault.Record
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one fault.
+func (r *Recorder) Record(rec fault.Record) { r.records = append(r.records, rec) }
+
+// Records returns the captured records (shared slice; do not mutate).
+func (r *Recorder) Records() []fault.Record { return r.records }
+
+// Len returns the number of captured faults.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// KindSummary is the per-kind statistics row of the paper's fault tables.
+type KindSummary struct {
+	Kind        fault.Kind
+	Count       uint64
+	AvgCycles   float64
+	StdevCycles float64
+	MaxCycles   sim.Cycles
+}
+
+// Summarize computes per-kind statistics over the recorded faults.
+func (r *Recorder) Summarize() []KindSummary {
+	type agg struct {
+		n        uint64
+		sum, ssq float64
+		max      sim.Cycles
+	}
+	var a [fault.NumKinds]agg
+	for _, rec := range r.records {
+		x := &a[rec.Kind]
+		x.n++
+		v := float64(rec.Cost)
+		x.sum += v
+		x.ssq += v * v
+		if rec.Cost > x.max {
+			x.max = rec.Cost
+		}
+	}
+	var out []KindSummary
+	for k := 0; k < fault.NumKinds; k++ {
+		if a[k].n == 0 {
+			continue
+		}
+		mean := a[k].sum / float64(a[k].n)
+		variance := a[k].ssq/float64(a[k].n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out = append(out, KindSummary{
+			Kind:        fault.Kind(k),
+			Count:       a[k].n,
+			AvgCycles:   mean,
+			StdevCycles: math.Sqrt(variance),
+			MaxCycles:   a[k].max,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// WriteTable renders the summary in the style of the paper's Figures 2–3.
+func (r *Recorder) WriteTable(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-14s %10s %14s %14s %14s\n", "Fault Size", "Total", "Avg Cycles", "Stdev Cycles", "Max Cycles")
+	for _, s := range r.Summarize() {
+		fmt.Fprintf(w, "%-14s %10d %14.0f %14.0f %14d\n", s.Kind, s.Count, s.AvgCycles, s.StdevCycles, s.MaxCycles)
+	}
+}
+
+// WriteCSV emits one line per fault: time_cycles,cost_cycles,kind,stalled.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at_cycles,cost_cycles,kind,pid,stalled"); err != nil {
+		return err
+	}
+	for _, rec := range r.records {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%d,%t\n", rec.At, rec.Cost, rec.Kind, rec.PID, rec.Stalls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter renders an ASCII scatter plot of fault cost against time, the
+// shape of the paper's Figures 4–5. Each kind gets its own glyph:
+// '.' small, 'O' large, 'M' merge-blocked, 'H' hugetlb-large,
+// 'h' hugetlb-small(reclaim), 's' stack.
+func (r *Recorder) Scatter(width, height int, logY bool) string {
+	if len(r.records) == 0 {
+		return "(no faults)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minT, maxT := r.records[0].At, r.records[0].At
+	var maxC sim.Cycles = 1
+	for _, rec := range r.records {
+		if rec.At < minT {
+			minT = rec.At
+		}
+		if rec.At > maxT {
+			maxT = rec.At
+		}
+		if rec.Cost > maxC {
+			maxC = rec.Cost
+		}
+	}
+	span := float64(maxT-minT) + 1
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	yOf := func(c sim.Cycles) int {
+		var frac float64
+		if logY {
+			frac = math.Log1p(float64(c)) / math.Log1p(float64(maxC))
+		} else {
+			frac = float64(c) / float64(maxC)
+		}
+		y := int(frac * float64(height-1))
+		if y >= height {
+			y = height - 1
+		}
+		return height - 1 - y
+	}
+	glyph := map[fault.Kind]byte{
+		fault.KindSmall:        '.',
+		fault.KindLarge:        'O',
+		fault.KindMergeBlocked: 'M',
+		fault.KindHugeTLBLarge: 'H',
+		fault.KindHugeTLBSmall: 'h',
+		fault.KindStackGrow:    's',
+	}
+	// Draw cheap kinds first so expensive outliers overwrite them.
+	order := []fault.Kind{fault.KindSmall, fault.KindStackGrow, fault.KindHugeTLBSmall,
+		fault.KindHugeTLBLarge, fault.KindLarge, fault.KindMergeBlocked}
+	for _, k := range order {
+		for _, rec := range r.records {
+			if rec.Kind != k {
+				continue
+			}
+			x := int(float64(rec.At-minT) / span * float64(width))
+			if x >= width {
+				x = width - 1
+			}
+			grid[yOf(rec.Cost)][x] = glyph[k]
+		}
+	}
+	var b strings.Builder
+	scale := "linear"
+	if logY {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "cycles (max %d, %s scale)\n", maxC, scale)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "> time\n")
+	b.WriteString("  . small  O 2MB  M merge-blocked  H hugetlb-2MB  h hugetlb-4KB  s stack\n")
+	return b.String()
+}
+
+// FilterKind returns a new recorder holding only records of kind k.
+func (r *Recorder) FilterKind(k fault.Kind) *Recorder {
+	out := NewRecorder()
+	for _, rec := range r.records {
+		if rec.Kind == k {
+			out.Record(rec)
+		}
+	}
+	return out
+}
+
+// Reset discards all records.
+func (r *Recorder) Reset() { r.records = r.records[:0] }
+
+// Histogram renders an ASCII log-scale histogram of fault costs for one
+// kind — the distribution view behind the tables' stdev columns.
+func (r *Recorder) Histogram(k fault.Kind, buckets, width int) string {
+	if buckets < 2 {
+		buckets = 2
+	}
+	var costs []float64
+	for _, rec := range r.records {
+		if rec.Kind == k {
+			costs = append(costs, float64(rec.Cost))
+		}
+	}
+	if len(costs) == 0 {
+		return fmt.Sprintf("(no %s faults)\n", k)
+	}
+	lo, hi := costs[0], costs[0]
+	for _, c := range costs {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo * 2
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	counts := make([]int, buckets)
+	for _, c := range costs {
+		if c < 1 {
+			c = 1
+		}
+		i := int((math.Log(c) - logLo) / (logHi - logLo) * float64(buckets))
+		if i >= buckets {
+			i = buckets - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s fault cost distribution (%d faults, log buckets)\n", k, len(costs))
+	for i, c := range counts {
+		lowEdge := math.Exp(logLo + (logHi-logLo)*float64(i)/float64(buckets))
+		bar := int(float64(c) / float64(max) * float64(width))
+		fmt.Fprintf(&b, "%12.0f |%s %d\n", lowEdge, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,423 @@
+package workload
+
+import (
+	"fmt"
+
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/pgtable"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/trace"
+	"hpmmap/internal/vma"
+)
+
+const rw = pgtable.ProtRead | pgtable.ProtWrite
+
+// Launcher creates the process for one rank. Plain Linux ranks use
+// node.NewProcess; HPMMAP ranks use the registration launch tool.
+type Launcher func(name string, preferredZone int) (*kernel.Process, error)
+
+// RankPlacement pins one rank to a node and core.
+type RankPlacement struct {
+	Node   *kernel.Node
+	Core   int
+	Launch Launcher
+}
+
+// Options configures an application run.
+type Options struct {
+	Spec  AppSpec
+	Ranks []RankPlacement
+	// CommDelay, when non-nil, returns per-iteration communication time
+	// for a rank (the cluster layer computes network costs; single-node
+	// runs use shared memory and leave it nil).
+	CommDelay func(iter, rank int) sim.Cycles
+	// Recorder, when non-nil, captures rank 0's faults.
+	Recorder *trace.Recorder
+}
+
+// RankResult reports one rank's execution.
+type RankResult struct {
+	Runtime sim.Cycles
+	Faults  kernel.TouchStats
+}
+
+// Result reports a completed application run.
+type Result struct {
+	// Runtime is job completion time: the slowest rank.
+	Runtime sim.Cycles
+	Ranks   []RankResult
+	Err     error
+}
+
+// App is a running application.
+type App struct {
+	opts  Options
+	eng   *sim.Engine
+	ranks []*rankState
+	start sim.Cycles
+
+	barrierCount int
+	barrierGen   int
+	waiting      []func()
+
+	done   int
+	result Result
+	onDone func(Result)
+	failed bool
+}
+
+// rankState is one rank's execution state.
+type rankState struct {
+	app  *App
+	idx  int
+	node *kernel.Node
+	p    *kernel.Process
+	t    *kernel.Task
+
+	bigRegions []regionRef
+	heapBase   pgtable.VirtAddr
+	heapLen    uint64
+	churnAddr  pgtable.VirtAddr
+	churnLen   uint64
+	smallAddr  pgtable.VirtAddr
+	smallLen   uint64
+
+	setupStep int
+	iter      int
+
+	stall sim.Cycles // accumulated fault/syscall time for the next segment
+}
+
+type regionRef struct {
+	addr    pgtable.VirtAddr
+	size    uint64
+	touched uint64
+}
+
+// Start launches the application. onDone fires when the last rank exits.
+func Start(eng *sim.Engine, opts Options, onDone func(Result)) (*App, error) {
+	if len(opts.Ranks) == 0 {
+		return nil, fmt.Errorf("workload: no ranks")
+	}
+	if opts.Spec.SetupSteps <= 0 {
+		opts.Spec.SetupSteps = 1
+	}
+	a := &App{opts: opts, eng: eng, onDone: onDone, start: eng.Now()}
+	for i, pl := range opts.Ranks {
+		r := &rankState{app: a, idx: i, node: pl.Node}
+		p, err := pl.Launch(fmt.Sprintf("%s.%d", opts.Spec.Name, i), pl.Node.ZoneOfCore(pl.Core))
+		if err != nil {
+			return nil, fmt.Errorf("workload: launch rank %d: %w", i, err)
+		}
+		r.p = p
+		if i == 0 && opts.Recorder != nil {
+			p.Recorder = opts.Recorder
+		}
+		r.t = pl.Node.NewTask(p, pl.Core, opts.Spec.BandwidthWeight)
+		a.ranks = append(a.ranks, r)
+		a.result.Ranks = append(a.result.Ranks, RankResult{})
+	}
+	for _, r := range a.ranks {
+		r := r
+		eng.Schedule(0, func() { r.begin() })
+	}
+	return a, nil
+}
+
+// Result returns the final result; valid after onDone fired.
+func (a *App) Result() Result { return a.result }
+
+// fail aborts the run.
+func (a *App) fail(err error) {
+	if a.failed {
+		return
+	}
+	a.failed = true
+	a.result.Err = err
+	a.finish()
+}
+
+func (a *App) finish() {
+	if a.onDone != nil {
+		cb := a.onDone
+		a.onDone = nil
+		cb(a.result)
+	}
+}
+
+// barrier blocks the rank until all ranks arrive, then releases everyone.
+func (a *App) barrier(fn func()) {
+	a.waiting = append(a.waiting, fn)
+	a.barrierCount++
+	if a.barrierCount < len(a.ranks)-a.done {
+		return
+	}
+	ws := a.waiting
+	a.waiting = nil
+	a.barrierCount = 0
+	a.barrierGen++
+	for _, w := range ws {
+		a.eng.Schedule(0, w)
+	}
+}
+
+// --- rank state machine ----------------------------------------------------
+
+// begin allocates the address space: stack, big arrays (mmap), and the
+// initial heap, then enters the setup-touch loop.
+func (r *rankState) begin() {
+	spec := r.app.opts.Spec
+	node := r.node
+	// Stack.
+	st, err := node.TouchStack(r.p, spec.StackBytes)
+	if err != nil {
+		r.app.fail(err)
+		return
+	}
+	r.stall += st.Total()
+
+	// Big arrays: mmap everything up front (demand-paged managers charge
+	// almost nothing here; HPMMAP performs its eager on-request backing).
+	bigTotal := uint64(float64(spec.FootprintPerRank) * (1 - spec.SmallFraction))
+	for got := uint64(0); got < bigTotal; {
+		sz := spec.AllocChunk
+		if bigTotal-got < sz {
+			sz = bigTotal - got
+		}
+		addr, c, err := node.Mmap(r.p, sz, rw, vma.KindAnon)
+		if err != nil {
+			r.app.fail(err)
+			return
+		}
+		r.stall += c
+		r.bigRegions = append(r.bigRegions, regionRef{addr: addr, size: sz})
+		got += sz
+	}
+	// MPI shared-memory segments with same-node peers (file-backed).
+	if spec.SharedPerPeer > 0 {
+		peers := 0
+		for _, pl := range r.app.opts.Ranks {
+			if pl.Node == r.node {
+				peers++
+			}
+		}
+		if peers > 1 {
+			shm := spec.SharedPerPeer * uint64(peers-1)
+			addr, c, err := node.Mmap(r.p, shm, rw, vma.KindFile)
+			if err != nil {
+				r.app.fail(err)
+				return
+			}
+			r.stall += c
+			st, err := node.TouchRange(r.p, addr, shm)
+			if err != nil {
+				r.app.fail(err)
+				return
+			}
+			r.stall += st.Total()
+		}
+	}
+
+	// Heap base.
+	b, c, err := node.Brk(r.p, 0)
+	if err != nil {
+		r.app.fail(err)
+		return
+	}
+	r.stall += c
+	r.heapBase = b
+	r.setupStep = 0
+	r.setup()
+}
+
+// setup touches 1/SetupSteps of the footprint per segment, interleaved
+// with initialization compute.
+func (r *rankState) setup() {
+	spec := r.app.opts.Spec
+	if r.setupStep >= spec.SetupSteps {
+		r.iter = 0
+		r.app.barrier(func() { r.iterate() })
+		return
+	}
+	r.setupStep++
+
+	// Touch the next slice of the big arrays.
+	bigTotal := uint64(0)
+	for _, reg := range r.bigRegions {
+		bigTotal += reg.size
+	}
+	target := bigTotal * uint64(r.setupStep) / uint64(spec.SetupSteps)
+	cum := uint64(0)
+	for i := range r.bigRegions {
+		reg := &r.bigRegions[i]
+		regTarget := target - cum
+		if regTarget > reg.size {
+			regTarget = reg.size
+		}
+		if regTarget > reg.touched {
+			st, err := r.node.TouchRange(r.p, reg.addr, regTarget)
+			if err != nil {
+				r.app.fail(err)
+				return
+			}
+			r.stall += st.Total()
+			reg.touched = regTarget
+		}
+		cum += reg.size
+		if cum >= target {
+			break
+		}
+	}
+
+	// Grow the heap by this step's share of the small allocations, in
+	// glibc-sized brk increments, touching as we go.
+	smallTotal := uint64(float64(spec.FootprintPerRank) * spec.SmallFraction)
+	heapTarget := smallTotal * uint64(r.setupStep) / uint64(spec.SetupSteps)
+	if err := r.growHeap(heapTarget); err != nil {
+		r.app.fail(err)
+		return
+	}
+
+	// Initialization compute: a fraction of an iteration per step.
+	cpu := sim.Cycles(uint64(spec.ComputePerIter) / uint64(spec.SetupSteps) / 2)
+	stall := r.stall
+	r.stall = 0
+	r.node.Run(r.t, cpu, stall, func(sim.Cycles) { r.setup() })
+}
+
+// growHeap extends the heap to target bytes in BrkStep increments.
+func (r *rankState) growHeap(target uint64) error {
+	spec := r.app.opts.Spec
+	for r.heapLen < target {
+		step := spec.BrkStep
+		if target-r.heapLen < step {
+			step = target - r.heapLen
+		}
+		_, c, err := r.node.Brk(r.p, r.heapBase+pgtable.VirtAddr(r.heapLen+step))
+		if err != nil {
+			return err
+		}
+		r.stall += c
+		st, err := r.node.TouchRange(r.p, r.heapBase+pgtable.VirtAddr(r.heapLen), step)
+		if err != nil {
+			return err
+		}
+		r.stall += st.Total()
+		r.heapLen += step
+	}
+	return nil
+}
+
+// iterate runs one bulk-synchronous iteration.
+func (r *rankState) iterate() {
+	spec := r.app.opts.Spec
+	if r.iter >= spec.Iterations {
+		r.complete()
+		return
+	}
+	r.iter++
+
+	// Work-buffer churn: drop last iteration's buffer, map and touch a
+	// fresh one — the ongoing allocation activity of Figures 4 and 5.
+	if spec.ChurnPerIter > 0 {
+		if r.churnAddr != 0 {
+			c, err := r.node.Munmap(r.p, r.churnAddr, r.churnLen)
+			if err != nil {
+				r.app.fail(err)
+				return
+			}
+			r.stall += c
+		}
+		addr, c, err := r.node.Mmap(r.p, spec.ChurnPerIter, rw, vma.KindAnon)
+		if err != nil {
+			r.app.fail(err)
+			return
+		}
+		r.stall += c
+		r.churnAddr, r.churnLen = addr, spec.ChurnPerIter
+		st, err := r.node.TouchRange(r.p, addr, spec.ChurnPerIter)
+		if err != nil {
+			r.app.fail(err)
+			return
+		}
+		r.stall += st.Total()
+	}
+	// Small-buffer churn: a sub-2MB scratch buffer remapped every
+	// iteration (4KB-mapped under the Linux managers).
+	if spec.SmallChurnPerIter > 0 {
+		if r.smallAddr != 0 {
+			c, err := r.node.Munmap(r.p, r.smallAddr, r.smallLen)
+			if err != nil {
+				r.app.fail(err)
+				return
+			}
+			r.stall += c
+		}
+		addr, c, err := r.node.Mmap(r.p, spec.SmallChurnPerIter, rw, vma.KindAnon)
+		if err != nil {
+			r.app.fail(err)
+			return
+		}
+		r.stall += c
+		r.smallAddr, r.smallLen = addr, spec.SmallChurnPerIter
+		st, err := r.node.TouchRange(r.p, addr, spec.SmallChurnPerIter)
+		if err != nil {
+			r.app.fail(err)
+			return
+		}
+		r.stall += st.Total()
+	}
+	// Heap churn: small temporary allocations push the heap tail.
+	if spec.HeapChurnPerIter > 0 {
+		if err := r.growHeap(r.heapLen + spec.HeapChurnPerIter); err != nil {
+			r.app.fail(err)
+			return
+		}
+	}
+
+	cpu := spec.ComputePerIter + MemoryOverhead(r.node, r.p, spec)
+	stall := r.stall
+	r.stall = 0
+	// Run the iteration in sub-segments so the fair-share sample tracks
+	// transient co-runners instead of charging a whole iteration at the
+	// instantaneous share.
+	const chunks = 4
+	var step func(left int, carry sim.Cycles)
+	step = func(left int, carry sim.Cycles) {
+		if left == 0 {
+			if d := r.commDelay(); d > 0 {
+				r.node.Sleep(r.t, d, func() { r.app.barrier(func() { r.iterate() }) })
+				return
+			}
+			r.app.barrier(func() { r.iterate() })
+			return
+		}
+		r.node.Run(r.t, cpu/chunks, carry, func(sim.Cycles) { step(left-1, 0) })
+	}
+	step(chunks, stall)
+}
+
+func (r *rankState) commDelay() sim.Cycles {
+	if r.app.opts.CommDelay == nil {
+		return 0
+	}
+	return r.app.opts.CommDelay(r.iter, r.idx)
+}
+
+// complete records the rank result; the last rank finishes the app.
+func (r *rankState) complete() {
+	a := r.app
+	a.result.Ranks[r.idx] = RankResult{
+		Runtime: a.eng.Now() - a.start,
+		Faults:  r.p.Faults,
+	}
+	if rt := a.eng.Now() - a.start; rt > a.result.Runtime {
+		a.result.Runtime = rt
+	}
+	r.t.Finish()
+	r.node.Exit(r.p)
+	a.done++
+	if a.done == len(a.ranks) && !a.failed {
+		a.finish()
+	}
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math"
+
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/pgtable"
+	"hpmmap/internal/sim"
+)
+
+// MemoryOverhead computes the per-iteration cost of the memory system
+// beyond the fault path: TLB misses weighted by the process's current
+// page-size mix, page-walk costs under bandwidth contention, and the
+// NUMA-remote access penalty. This is where large pages pay off — and
+// where a process whose THP coverage collapsed under fragmentation pays.
+func MemoryOverhead(node *kernel.Node, p *kernel.Process, spec AppSpec) sim.Cycles {
+	cfg := node.Config()
+	load := node.LoadFor(p)
+
+	footprint := p.ResidentBytes()
+	if footprint == 0 {
+		return 0
+	}
+	largeFrac := p.LargeFraction()
+
+	// Effective locality rises with page size: a 2MB page absorbs the
+	// spatial locality of 512 consecutive small pages. The sqrt scaling
+	// is a standard working-set approximation.
+	loc4k := spec.Locality
+	loc2m := 1 - (1-spec.Locality)*math.Sqrt(4096.0/float64(pgtable.Page2M.Bytes()))
+
+	mr4k := cfg.TLB.MissRate(footprint, pgtable.Page4K, loc4k)
+	mr2m := cfg.TLB.MissRate(footprint, pgtable.Page2M, loc2m)
+
+	// Page-walk cost: walk levels that miss the paging-structure caches
+	// go to DRAM, slower under bandwidth contention.
+	memLat := cfg.MemLatency * (1 + 0.8*load.BandwidthLoad)
+	walk4k := 4 * cfg.WalkCacheFactor * memLat
+	walk2m := 3 * cfg.WalkCacheFactor * memLat
+
+	perAccess := (1-largeFrac)*mr4k*walk4k + largeFrac*mr2m*walk2m
+	tlb := float64(spec.AccessesPerIter) * perAccess
+
+	// NUMA: remote accesses add ~60% latency on the memory-bound part of
+	// the iteration.
+	numa := float64(spec.ComputePerIter) * spec.MemBoundFactor * 0.6 * p.RemoteFraction()
+
+	// Bandwidth contention stretches the memory-bound fraction of the
+	// compute itself.
+	bw := float64(spec.ComputePerIter) * spec.MemBoundFactor * 0.45 * load.BandwidthLoad
+
+	return sim.Cycles(tlb + numa + bw)
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"testing"
+
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/linuxmm"
+	"hpmmap/internal/sim"
+)
+
+func overheadProc(t *testing.T) (*kernel.Node, *kernel.Process) {
+	t.Helper()
+	eng := sim.NewEngine()
+	node := kernel.NewNode(kernel.DellR415(), eng, sim.NewRand(17))
+	node.SetDefaultMM(linuxmm.New(node, linuxmm.ModeTHP, linuxmm.ModeTHP, nil))
+	p, err := node.NewProcess("x", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, p
+}
+
+func TestOverheadScalesWithAccesses(t *testing.T) {
+	node, p := overheadProc(t)
+	p.ResidentSmall = 1 << 30
+	spec := HPCCG()
+	lo := MemoryOverhead(node, p, spec)
+	spec.AccessesPerIter *= 4
+	hi := MemoryOverhead(node, p, spec)
+	if hi < 3*lo {
+		t.Fatalf("4x accesses gave %d -> %d", lo, hi)
+	}
+}
+
+func TestOverheadLocalityHelps(t *testing.T) {
+	node, p := overheadProc(t)
+	p.ResidentSmall = 1 << 30
+	spec := HPCCG()
+	spec.Locality = 0.5
+	low := MemoryOverhead(node, p, spec)
+	spec.Locality = 0.95
+	high := MemoryOverhead(node, p, spec)
+	if high >= low {
+		t.Fatalf("higher locality did not reduce overhead: %d vs %d", high, low)
+	}
+}
+
+func TestOverheadLargePagesAbsorbSpatialLocality(t *testing.T) {
+	// The 2MB-mapped configuration must beat the 4KB one by far more
+	// than the 4-vs-3-level walk alone (x1.33): page reach and spatial
+	// locality absorption dominate.
+	node, p := overheadProc(t)
+	spec := HPCCG()
+	p.ResidentSmall = 4 << 30
+	small := MemoryOverhead(node, p, spec)
+	p.ResidentSmall = 0
+	p.ResidentLarge = 4 << 30
+	large := MemoryOverhead(node, p, spec)
+	if small < 10*large {
+		t.Fatalf("4K/2M overhead ratio only %.1f", float64(small)/float64(large))
+	}
+}
