@@ -1,9 +1,11 @@
 package hpmmap
 
 import (
+	"context"
 	"fmt"
 
 	"hpmmap/internal/experiments"
+	"hpmmap/internal/runner"
 	"hpmmap/internal/trace"
 	"hpmmap/internal/workload"
 )
@@ -24,6 +26,13 @@ type BenchmarkOptions struct {
 	// Scale shrinks the problem and machine together for quick runs
 	// (1.0 = paper size).
 	Scale float64
+	// Workers bounds the experiment runner's worker pool. A single
+	// benchmark run is one cell, so this matters only for grid-shaped
+	// consumers; it is passed through to the executor unchanged.
+	Workers int
+	// Context, when non-nil, cancels the simulation mid-run (polled
+	// every few tens of thousands of simulated events).
+	Context context.Context
 }
 
 // BenchmarkResult reports a completed run.
@@ -63,8 +72,38 @@ func profileOf(p string) (experiments.Profile, error) {
 	return 0, fmt.Errorf("hpmmap: unknown profile %q", p)
 }
 
+// benchCell routes one facade benchmark run through the experiment
+// runner: a single-cell plan on the bounded executor, so the facade gets
+// the same context cancellation, panic containment and seed derivation
+// as the figure harnesses.
+func benchCell(o BenchmarkOptions, exp string,
+	exec func(ctx context.Context, seed uint64) (experiments.RunOutcome, error)) (experiments.RunOutcome, error) {
+	kind, err := managerKind(o.Manager)
+	if err != nil {
+		return experiments.RunOutcome{}, err
+	}
+	prof, err := profileOf(o.Profile)
+	if err != nil {
+		return experiments.RunOutcome{}, err
+	}
+	plan := runner.Plan{Name: exp, Seed: o.Seed, Cells: []runner.Cell{{
+		Exp: exp, Bench: o.Benchmark, Profile: prof.String(),
+		Manager: kind.Key(), Cores: o.Ranks,
+	}}}
+	outs, err := runner.Run(runner.Options{Workers: o.Workers, Context: o.Context}, plan,
+		func(ctx context.Context, _ int, _ runner.Cell, seed uint64) (experiments.RunOutcome, error) {
+			return exec(ctx, seed)
+		})
+	if err != nil {
+		return experiments.RunOutcome{}, err
+	}
+	return outs[0], nil
+}
+
 // RunBenchmark executes one single-node benchmark run (a cell of the
-// paper's Figure 7).
+// paper's Figure 7). The run executes through the experiment runner:
+// Seed opens the cell's deterministic substream (same options, same
+// result) and Context/Workers are passed through to the executor.
 func RunBenchmark(o BenchmarkOptions) (BenchmarkResult, error) {
 	spec, ok := workload.ByName(o.Benchmark)
 	if !ok {
@@ -81,13 +120,16 @@ func RunBenchmark(o BenchmarkOptions) (BenchmarkResult, error) {
 	if o.Ranks == 0 {
 		o.Ranks = 1
 	}
-	out, err := experiments.ExecuteSingleNode(experiments.SingleRun{
-		Bench:   spec,
-		Kind:    kind,
-		Profile: prof,
-		Ranks:   o.Ranks,
-		Seed:    o.Seed,
-		Scale:   experiments.Scale(o.Scale),
+	out, err := benchCell(o, "bench", func(ctx context.Context, seed uint64) (experiments.RunOutcome, error) {
+		return experiments.ExecuteSingleNode(experiments.SingleRun{
+			Bench:   spec,
+			Kind:    kind,
+			Profile: prof,
+			Ranks:   o.Ranks,
+			Seed:    seed,
+			Scale:   experiments.Scale(o.Scale),
+			Context: ctx,
+		})
 	})
 	if err != nil {
 		return BenchmarkResult{}, err
@@ -103,7 +145,8 @@ func RunBenchmark(o BenchmarkOptions) (BenchmarkResult, error) {
 }
 
 // RunClusterBenchmark executes one multi-node run (a cell of Figure 8):
-// 4 ranks per node on the 8-node Sandia testbed model.
+// 4 ranks per node on the 8-node Sandia testbed model. Like RunBenchmark
+// it executes through the experiment runner.
 func RunClusterBenchmark(o BenchmarkOptions) (BenchmarkResult, error) {
 	spec, ok := workload.ByName(o.Benchmark)
 	if !ok {
@@ -117,13 +160,16 @@ func RunClusterBenchmark(o BenchmarkOptions) (BenchmarkResult, error) {
 	if err != nil {
 		return BenchmarkResult{}, err
 	}
-	out, err := experiments.ExecuteCluster(experiments.ClusterRun{
-		Bench:   spec,
-		Kind:    kind,
-		Profile: prof,
-		Ranks:   o.Ranks,
-		Seed:    o.Seed,
-		Scale:   experiments.Scale(o.Scale),
+	out, err := benchCell(o, "cluster", func(ctx context.Context, seed uint64) (experiments.RunOutcome, error) {
+		return experiments.ExecuteCluster(experiments.ClusterRun{
+			Bench:   spec,
+			Kind:    kind,
+			Profile: prof,
+			Ranks:   o.Ranks,
+			Seed:    seed,
+			Scale:   experiments.Scale(o.Scale),
+			Context: ctx,
+		})
 	})
 	if err != nil {
 		return BenchmarkResult{}, err
@@ -153,17 +199,32 @@ type FaultKindStats struct {
 
 // RunFaultStudy reproduces the per-fault measurement of the paper's
 // Figures 2 and 3 for the given manager, with and without a competing
-// kernel build.
+// kernel build. It is shorthand for RunFaultStudyOptions with only the
+// core knobs set.
 func RunFaultStudy(benchmark string, m Manager, seed uint64, scale float64) ([]FaultStudyRow, error) {
-	kind, err := managerKind(m)
+	return RunFaultStudyOptions(BenchmarkOptions{
+		Benchmark: benchmark, Manager: m, Seed: seed, Scale: scale,
+	})
+}
+
+// RunFaultStudyOptions is RunFaultStudy with full executor control: the
+// study's load conditions run as cells of an internal/runner plan, so
+// Workers bounds the worker pool (<= 0 selects runtime.NumCPU(); results
+// are identical at any worker count) and Context cancels the study
+// mid-simulation. Ranks defaults to the paper's 8.
+func RunFaultStudyOptions(o BenchmarkOptions) ([]FaultStudyRow, error) {
+	kind, err := managerKind(o.Manager)
 	if err != nil {
 		return nil, err
 	}
 	fs, err := experiments.RunFaultStudy(experiments.FaultStudyOptions{
-		Bench: benchmark,
-		Kind:  kind,
-		Seed:  seed,
-		Scale: experiments.Scale(scale),
+		Bench:   o.Benchmark,
+		Kind:    kind,
+		Ranks:   o.Ranks,
+		Seed:    o.Seed,
+		Scale:   experiments.Scale(o.Scale),
+		Workers: o.Workers,
+		Context: o.Context,
 	})
 	if err != nil {
 		return nil, err

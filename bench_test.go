@@ -21,7 +21,7 @@ import (
 // for miniMD with and without a competing kernel build.
 func BenchmarkFig2THPFaults(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fs, err := experiments.Fig2(uint64(i)+1, 1)
+		fs, err := experiments.Fig2(experiments.FaultStudyOptions{Seed: uint64(i) + 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func BenchmarkFig2THPFaults(b *testing.B) {
 // BenchmarkFig3HugeTLBFaults regenerates Figure 3: HugeTLBfs fault costs.
 func BenchmarkFig3HugeTLBFaults(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fs, err := experiments.Fig3(uint64(i)+1, 1)
+		fs, err := experiments.Fig3(experiments.FaultStudyOptions{Seed: uint64(i) + 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func BenchmarkFig3HugeTLBFaults(b *testing.B) {
 // for miniMD (four panels), reporting the fault population sizes.
 func BenchmarkFig4THPTimeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tls, err := experiments.Fig4(uint64(i)+1, 1)
+		tls, err := experiments.Fig4(experiments.FaultStudyOptions{Seed: uint64(i) + 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +75,7 @@ func BenchmarkFig4THPTimeline(b *testing.B) {
 // timelines for HPCCG, CoMD and miniFE with and without competition.
 func BenchmarkFig5HugeTLBTimeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tls, err := experiments.Fig5(uint64(i)+1, 1)
+		tls, err := experiments.Fig5(experiments.FaultStudyOptions{Seed: uint64(i) + 1})
 		if err != nil {
 			b.Fatal(err)
 		}

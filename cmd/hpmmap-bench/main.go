@@ -6,16 +6,21 @@
 //	hpmmap-bench -exp fig3            # HugeTLBfs fault-cost table (Fig. 3)
 //	hpmmap-bench -exp fig4            # THP fault timeline (Fig. 4)
 //	hpmmap-bench -exp fig5            # HugeTLBfs fault timelines (Fig. 5)
-//	hpmmap-bench -exp fig7            # single-node weak scaling (Fig. 7)
+//	hpmmap-bench -exp fig7 -workers 8 # single-node weak scaling (Fig. 7)
 //	hpmmap-bench -exp fig8            # 8-node scaling study (Fig. 8)
 //	hpmmap-bench -exp all             # everything
 //
-// -scale shrinks the experiment (memory, footprints, iterations) for
-// quick runs; -runs overrides the paper's 10 repetitions; -bench and
-// -cores narrow Figure 7 to one cell.
+// Every experiment executes through the internal/runner worker pool:
+// -workers bounds the pool (0 = one worker per CPU) and results are
+// byte-identical at any worker count, -timeout cancels a stuck run, and
+// -cache-dir memoizes per-cell results so re-invocations only simulate
+// changed cells. -scale shrinks the experiment (memory, footprints,
+// iterations) for quick runs; -runs overrides the paper's 10
+// repetitions; -bench and -cores narrow Figure 7 to one cell.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,23 +30,46 @@ import (
 	"time"
 
 	"hpmmap/internal/experiments"
+	"hpmmap/internal/runner"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig7|fig8|noise|all")
-		scale   = flag.Float64("scale", 1.0, "problem/memory scale factor (1.0 = paper size)")
-		runs    = flag.Int("runs", 0, "repetitions per cell (0 = paper default of 10)")
-		seed    = flag.Uint64("seed", 0, "base seed (0 = default)")
-		benches = flag.String("bench", "", "comma-separated benchmarks (fig7/fig8 only)")
-		cores   = flag.String("cores", "", "comma-separated core counts (fig7 only)")
-		verbose = flag.Bool("v", false, "print per-cell progress")
-		plotW   = flag.Int("plot-width", 100, "timeline plot width")
-		plotH   = flag.Int("plot-height", 18, "timeline plot height")
-		outDir  = flag.String("out", "", "also write machine-readable CSVs into this directory")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig7|fig8|noise|all")
+		scale    = flag.Float64("scale", 1.0, "problem/memory scale factor (1.0 = paper size)")
+		runs     = flag.Int("runs", 0, "repetitions per cell (0 = paper default of 10)")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
+		benches  = flag.String("bench", "", "comma-separated benchmarks (fig7/fig8 only)")
+		cores    = flag.String("cores", "", "comma-separated core counts (fig7 only)")
+		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU; results identical at any count)")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (0 = no timeout)")
+		cacheDir = flag.String("cache-dir", "", "JSON result cache: reuse per-cell results keyed by exp/cell/seed/scale/model-version")
+		verbose  = flag.Bool("v", false, "print per-cell progress with done/total and ETA")
+		plotW    = flag.Int("plot-width", 100, "timeline plot width")
+		plotH    = flag.Int("plot-height", 18, "timeline plot height")
+		outDir   = flag.String("out", "", "also write machine-readable CSVs into this directory")
 	)
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = runner.NewCache(*cacheDir, experiments.ModelVersion)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	// The runner delivers progress through a serialized sink, so this
+	// callback may write to stderr without locking.
 	progress := func(string) {}
 	if *verbose {
 		progress = func(msg string) { fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg) }
@@ -62,9 +90,15 @@ func main() {
 	}
 
 	sc := experiments.Scale(*scale)
+	study := func() experiments.FaultStudyOptions {
+		return experiments.FaultStudyOptions{
+			Seed: *seed, Scale: sc,
+			Workers: *workers, Context: ctx, Progress: progress,
+		}
+	}
 
 	run("fig2", func() error {
-		fs, err := experiments.Fig2(*seed, sc)
+		fs, err := experiments.Fig2(study())
 		if err != nil {
 			return err
 		}
@@ -72,7 +106,7 @@ func main() {
 		return nil
 	})
 	run("fig3", func() error {
-		fs, err := experiments.Fig3(*seed, sc)
+		fs, err := experiments.Fig3(study())
 		if err != nil {
 			return err
 		}
@@ -80,7 +114,7 @@ func main() {
 		return nil
 	})
 	run("fig4", func() error {
-		tls, err := experiments.Fig4(*seed, sc)
+		tls, err := experiments.Fig4(study())
 		if err != nil {
 			return err
 		}
@@ -88,7 +122,7 @@ func main() {
 		return nil
 	})
 	run("fig5", func() error {
-		tls, err := experiments.Fig5(*seed, sc)
+		tls, err := experiments.Fig5(study())
 		if err != nil {
 			return err
 		}
@@ -112,6 +146,9 @@ func main() {
 			Scale:    sc,
 			Progress: progress,
 			Benches:  splitList(*benches),
+			Workers:  *workers,
+			Context:  ctx,
+			Cache:    cache,
 		}
 		for _, c := range splitList(*cores) {
 			v, err := strconv.Atoi(c)
@@ -137,7 +174,10 @@ func main() {
 		return writeCSV("fig7.csv", lines)
 	})
 	run("noise", func() error {
-		points, err := experiments.NoiseStudy(experiments.NoiseStudyOptions{Seed: *seed, Scale: sc})
+		points, err := experiments.NoiseStudy(experiments.NoiseStudyOptions{
+			Seed: *seed, Scale: sc,
+			Workers: *workers, Context: ctx, Progress: progress,
+		})
 		if err != nil {
 			return err
 		}
@@ -152,6 +192,9 @@ func main() {
 			Scale:    sc,
 			Progress: progress,
 			Benches:  splitList(*benches),
+			Workers:  *workers,
+			Context:  ctx,
+			Cache:    cache,
 		})
 		if err != nil {
 			return err

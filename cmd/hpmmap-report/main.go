@@ -2,10 +2,14 @@
 // markdown report in the structure of EXPERIMENTS.md: fault-cost tables
 // with paper-versus-measured columns, runtime tables for the scaling
 // studies, and the headline improvement summaries. Use -scale to trade
-// fidelity for time.
+// fidelity for time, -workers to parallelize the sweeps, and -cache-dir
+// to regenerate the report without re-simulating unchanged cells (cache
+// entries are keyed by experiment/cell/seed/scale/model-version, so a
+// simulator change invalidates them automatically).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,6 +17,7 @@ import (
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/fault"
+	"hpmmap/internal/runner"
 )
 
 // The paper's published numbers, for the side-by-side columns.
@@ -32,41 +37,75 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem/memory scale")
 	runs := flag.Int("runs", 0, "runs per cell (0 = paper's 10)")
 	seed := flag.Uint64("seed", 0, "base seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "cancel the report generation after this long (0 = none)")
+	cacheDir := flag.String("cache-dir", "", "reuse cached per-cell results from this directory")
+	verbose := flag.Bool("v", false, "per-cell progress with ETA on stderr")
 	skipFig7 := flag.Bool("skip-fig7", false, "skip the single-node sweep")
 	skipFig8 := flag.Bool("skip-fig8", false, "skip the cluster sweep")
 	flag.Parse()
 	sc := experiments.Scale(*scale)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = runner.NewCache(*cacheDir, experiments.ModelVersion)
+		must(err)
+	}
+	progress := func(string) {}
+	if *verbose {
+		progress = func(msg string) { fmt.Fprintf(os.Stderr, "%s\n", msg) }
+	}
+
 	fmt.Printf("# HPMMAP reproduction report\n\nGenerated %s at scale %.2f.\n\n",
 		time.Now().Format("2006-01-02 15:04"), *scale)
 
 	section := func(title string) { fmt.Printf("\n## %s\n\n", title) }
+	study := experiments.FaultStudyOptions{
+		Seed: *seed, Scale: sc,
+		Workers: *workers, Context: ctx, Progress: progress,
+	}
 
 	section("Figure 2 — THP fault costs (miniMD)")
-	fs, err := experiments.Fig2(*seed, sc)
+	fs, err := experiments.Fig2(study)
 	must(err)
 	faultTable(fs, paperFig2)
 
 	section("Figure 3 — HugeTLBfs fault costs (miniMD)")
-	fs, err = experiments.Fig3(*seed, sc)
+	fs, err = experiments.Fig3(study)
 	must(err)
 	faultTable(fs, paperFig3)
 
 	if !*skipFig7 {
 		section("Figure 7 — single-node weak scaling")
-		panels, err := experiments.Fig7(experiments.Fig7Options{Runs: *runs, Seed: *seed, Scale: sc})
+		panels, err := experiments.Fig7(experiments.Fig7Options{
+			Runs: *runs, Seed: *seed, Scale: sc,
+			Workers: *workers, Context: ctx, Cache: cache, Progress: progress,
+		})
 		must(err)
 		experiments.WriteFig7(os.Stdout, panels)
 	}
 	if !*skipFig8 {
 		section("Figure 8 — 8-node scaling study")
-		panels, err := experiments.Fig8(experiments.Fig8Options{Runs: *runs, Seed: *seed, Scale: sc})
+		panels, err := experiments.Fig8(experiments.Fig8Options{
+			Runs: *runs, Seed: *seed, Scale: sc,
+			Workers: *workers, Context: ctx, Cache: cache, Progress: progress,
+		})
 		must(err)
 		experiments.WriteFig8(os.Stdout, panels)
 	}
 
 	section("BSP noise amplification (supplementary)")
-	points, err := experiments.NoiseStudy(experiments.NoiseStudyOptions{Seed: *seed, Scale: sc})
+	points, err := experiments.NoiseStudy(experiments.NoiseStudyOptions{
+		Seed: *seed, Scale: sc,
+		Workers: *workers, Context: ctx, Progress: progress,
+	})
 	must(err)
 	fmt.Println("```")
 	fmt.Print(experiments.WriteNoiseStudy(points))

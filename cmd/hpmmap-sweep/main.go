@@ -4,6 +4,11 @@
 // HugeTLBfs at 8 cores) responds. This is the ablation evidence that the
 // reproduction's conclusions do not hinge on a single lucky constant.
 //
+// Each knob's value x manager x run grid executes as one internal/runner
+// plan: -workers bounds the worker pool (0 = one per CPU), seeds derive
+// from cell coordinates so the table is identical at any worker count,
+// and -timeout cancels a stuck sweep.
+//
 // Sweepable knobs:
 //
 //	thp-frag        THP fallback sensitivity to pressure x contention
@@ -15,11 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"hpmmap/internal/experiments"
+	"hpmmap/internal/runner"
 	"hpmmap/internal/workload"
 )
 
@@ -40,6 +47,11 @@ func knobs() []knob {
 	}
 }
 
+// sweepManagers is the fixed manager axis of every sweep row.
+var sweepManagers = []experiments.ManagerKind{
+	experiments.HPMMAP, experiments.THP, experiments.HugeTLBfs,
+}
+
 func main() {
 	which := flag.String("knob", "all", "knob to sweep (or 'all')")
 	bench := flag.String("bench", "HPCCG", "benchmark")
@@ -47,6 +59,9 @@ func main() {
 	runs := flag.Int("runs", 2, "runs per point")
 	scale := flag.Float64("scale", 1.0, "problem scale")
 	seed := flag.Uint64("seed", 4242, "base seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU; table identical at any count)")
+	timeout := flag.Duration("timeout", 0, "cancel the sweep after this long (0 = none)")
+	verbose := flag.Bool("v", false, "per-cell progress with ETA on stderr")
 	flag.Parse()
 
 	spec, ok := workload.ByName(*bench)
@@ -56,34 +71,81 @@ func main() {
 	}
 	prof := experiments.Profile(*profile)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := runner.Options{Workers: *workers, Context: ctx}
+	if *verbose {
+		// Serialized sink: the runner never overlaps invocations, so
+		// writing to stderr without locking is safe.
+		opts.Progress = func(e runner.Event) { fmt.Fprintf(os.Stderr, "%s\n", e) }
+	}
+
 	for _, k := range knobs() {
 		if *which != "all" && *which != k.name {
 			continue
 		}
+		// One plan per knob: values x managers x runs, every cell
+		// independent. Seeds derive from the cell coordinates (the knob
+		// value is the Variant axis), never from execution order.
+		plan := runner.Plan{Name: "sweep-" + k.name, Seed: *seed}
+		var vals []float64
+		for _, v := range k.values {
+			for _, kind := range sweepManagers {
+				for r := 0; r < *runs; r++ {
+					plan.Cells = append(plan.Cells, runner.Cell{
+						Exp: "sweep", Bench: *bench, Profile: prof.String(),
+						Manager: kind.Key(), Variant: fmt.Sprintf("%s=%g", k.name, v),
+						Cores: 8, Run: r,
+					})
+					vals = append(vals, v)
+				}
+			}
+		}
+		secs, err := runner.Run(opts, plan, func(ctx context.Context, idx int, cell runner.Cell, cellSeed uint64) (float64, error) {
+			var o experiments.ModelOverrides
+			k.apply(&o, vals[idx])
+			var kind experiments.ManagerKind
+			for _, mk := range sweepManagers {
+				if mk.Key() == cell.Manager {
+					kind = mk
+				}
+			}
+			out, err := experiments.ExecuteSingleNodeWithOverrides(experiments.SingleRun{
+				Bench: spec, Kind: kind, Profile: prof, Ranks: cell.Cores,
+				Seed: cellSeed, Scale: experiments.Scale(*scale), Context: ctx,
+			}, o)
+			if err != nil {
+				return 0, err
+			}
+			return out.RuntimeSec, nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+		// Reduce in declaration order: mean per (value, manager).
 		fmt.Printf("=== sweep %s (%s, profile %s, 8 cores) ===\n", k.name, *bench, prof)
 		fmt.Printf("%12s %12s %12s %14s %12s %14s\n",
 			k.name, "hpmmap (s)", "thp (s)", "vs thp", "htlb (s)", "vs hugetlbfs")
+		i := 0
 		for _, v := range k.values {
-			var o experiments.ModelOverrides
-			k.apply(&o, v)
-			cell := func(kind experiments.ManagerKind) float64 {
+			means := make(map[experiments.ManagerKind]float64, len(sweepManagers))
+			for _, kind := range sweepManagers {
 				var sum float64
 				for r := 0; r < *runs; r++ {
-					out, err := experiments.ExecuteSingleNodeWithOverrides(experiments.SingleRun{
-						Bench: spec, Kind: kind, Profile: prof, Ranks: 8,
-						Seed: *seed + uint64(r)*17, Scale: experiments.Scale(*scale),
-					}, o)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, err)
-						os.Exit(1)
-					}
-					sum += out.RuntimeSec
+					sum += secs[i]
+					i++
 				}
-				return sum / float64(*runs)
+				means[kind] = sum / float64(*runs)
 			}
-			hp := cell(experiments.HPMMAP)
-			th := cell(experiments.THP)
-			ht := cell(experiments.HugeTLBfs)
+			hp := means[experiments.HPMMAP]
+			th := means[experiments.THP]
+			ht := means[experiments.HugeTLBfs]
 			fmt.Printf("%12.3g %12.1f %12.1f %+13.1f%% %12.1f %+13.1f%%\n",
 				v, hp, th, 100*(th-hp)/th, ht, 100*(ht-hp)/ht)
 		}

@@ -200,7 +200,7 @@ func TestClusterConservation(t *testing.T) {
 			}, func(got workload.Result) { res = got; done = true }); err != nil {
 				t.Fatal(err)
 			}
-			if err := runToCompletion(cr.eng, &done); err != nil {
+			if err := runToCompletion(nil, cr.eng, &done); err != nil {
 				t.Fatal(err)
 			}
 			if res.Err != nil {

@@ -99,7 +99,7 @@ func TestFig2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale detail run")
 	}
-	fs, err := Fig2(7, 1)
+	fs, err := Fig2(FaultStudyOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestFig3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale detail run")
 	}
-	fs, err := Fig3(7, 1)
+	fs, err := Fig3(FaultStudyOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestFig4TimelinesSpanTheRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale detail run")
 	}
-	tls, err := Fig4(9, 1)
+	tls, err := Fig4(FaultStudyOptions{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -543,7 +543,7 @@ func TestFaultStudyQuickPath(t *testing.T) {
 		t.Fatal("bogus bench accepted")
 	}
 	// Fig5 plumbing at reduced scale.
-	tls, err := Fig5(4, 0.1)
+	tls, err := Fig5(FaultStudyOptions{Seed: 4, Scale: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"hpmmap/internal/runner"
 	"hpmmap/internal/sim"
 	"hpmmap/internal/workload"
 )
@@ -40,6 +42,14 @@ type NoiseStudyOptions struct {
 	RankCounts     []int
 	Seed           uint64
 	Scale          Scale
+	// Workers bounds the worker pool running the study's cells in
+	// parallel; <= 0 selects runtime.NumCPU().
+	Workers int
+	// Context, when non-nil, cancels the study.
+	Context context.Context
+	// Progress receives one line per completed cell from the runner's
+	// serialized sink (calls never overlap).
+	Progress func(string)
 }
 
 func (o *NoiseStudyOptions) defaults() {
@@ -64,26 +74,57 @@ func (o *NoiseStudyOptions) defaults() {
 	}
 }
 
+// noiseVariants are the study's two conditions per rank count.
+var noiseVariants = []string{"base", "noisy"}
+
 // NoiseStudy measures BSP noise amplification on the single-node testbed.
+// The rank-count × {base, noisy} grid executes as one runner plan. The
+// base and noisy cells of a rank count share one engine seed (derived
+// from the variant-less coordinates) so they differ only in the injected
+// detours; the noise stream itself is seeded from the noisy cell's own
+// coordinate-derived seed.
 func NoiseStudy(o NoiseStudyOptions) ([]NoisePoint, error) {
 	o.defaults()
 	spec := scaleSpec(workload.HPCCG(), o.Scale)
-	var out []NoisePoint
+	plan := runner.Plan{Name: "noise", Seed: o.Seed}
 	for _, ranks := range o.RankCounts {
-		base, err := noiseRun(spec, ranks, o.Seed, o.Scale, nil)
-		if err != nil {
-			return nil, err
+		for _, variant := range noiseVariants {
+			plan.Cells = append(plan.Cells, runner.Cell{
+				Exp: "noise", Bench: "HPCCG", Manager: HPMMAP.Key(),
+				Variant: variant, Cores: ranks,
+			})
 		}
-		rnd := sim.NewRand(o.Seed * 31)
-		noisy, err := noiseRun(spec, ranks, o.Seed, o.Scale, func(iter, rank int) sim.Cycles {
-			if rnd.Bool(o.Prob) {
-				return o.DurationCycles
+	}
+	secs, err := runner.Run(runner.Options{
+		Workers:  o.Workers,
+		Context:  o.Context,
+		Progress: runtimeProgress(o.Progress),
+	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (float64, error) {
+		// Both variants of a rank count boot the same engine stream.
+		engineCell := cell
+		engineCell.Variant = ""
+		engineSeed := engineCell.Seed(o.Seed)
+		var noise func(iter, rank int) sim.Cycles
+		if cell.Variant == "noisy" {
+			rnd := sim.NewRand(seed) // the noisy cell's own substream
+			noise = func(iter, rank int) sim.Cycles {
+				if rnd.Bool(o.Prob) {
+					return o.DurationCycles
+				}
+				return 0
 			}
-			return 0
-		})
-		if err != nil {
-			return nil, err
 		}
+		return noiseRun(ctx, spec, cell.Cores, engineSeed, o.Scale, noise)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("noise: %w", err)
+	}
+
+	var out []NoisePoint
+	i := 0
+	for _, ranks := range o.RankCounts {
+		base, noisy := secs[i], secs[i+1]
+		i += 2
 		slow := noisy - base
 		expected := o.Prob * float64(spec.Iterations) * float64(o.DurationCycles) / 2.2e9
 		amp := 0.0
@@ -100,7 +141,7 @@ func NoiseStudy(o NoiseStudyOptions) ([]NoisePoint, error) {
 
 // noiseRun executes one HPMMAP-managed run with an optional per-iteration
 // noise hook.
-func noiseRun(spec workload.AppSpec, ranks int, seed uint64, sc Scale, noise func(iter, rank int) sim.Cycles) (float64, error) {
+func noiseRun(ctx context.Context, spec workload.AppSpec, ranks int, seed uint64, sc Scale, noise func(iter, rank int) sim.Cycles) (float64, error) {
 	rig, err := newRig(dellMachine(), HPMMAP, seed, false, sc)
 	if err != nil {
 		return 0, err
@@ -123,7 +164,7 @@ func noiseRun(spec workload.AppSpec, ranks int, seed uint64, sc Scale, noise fun
 	if err != nil {
 		return 0, err
 	}
-	if err := runToCompletion(rig.eng, &done); err != nil {
+	if err := runToCompletion(ctx, rig.eng, &done); err != nil {
 		return 0, err
 	}
 	if res.Err != nil {

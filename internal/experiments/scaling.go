@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hpmmap/internal/cluster"
-	"hpmmap/internal/sim"
+	"hpmmap/internal/runner"
 	"hpmmap/internal/stats"
 	"hpmmap/internal/workload"
 )
@@ -33,6 +34,8 @@ type ClusterRun struct {
 	Ranks   int     // 4, 8, 16 or 32; 4 per node
 	Seed    uint64
 	Scale   Scale
+	// Context, when non-nil, cancels the simulation mid-run.
+	Context context.Context
 }
 
 // ExecuteCluster performs one multi-node run: ranks/4 nodes, 4 app cores
@@ -89,7 +92,7 @@ func ExecuteCluster(rs ClusterRun) (RunOutcome, error) {
 	if err != nil {
 		return RunOutcome{}, err
 	}
-	if err := runToCompletion(cr.eng, &done); err != nil {
+	if err := runToCompletion(rs.Context, cr.eng, &done); err != nil {
 		return RunOutcome{}, err
 	}
 	if res.Err != nil {
@@ -110,7 +113,17 @@ type Fig8Options struct {
 	Runs     int   // default: 10
 	Seed     uint64
 	Scale    Scale
+	// Progress receives one line per completed cell, from the runner's
+	// serialized sink: calls never overlap even at Workers > 1, so the
+	// callback may write to unsynchronized state.
 	Progress func(string)
+	// Workers bounds the parallel worker pool; <= 0 selects
+	// runtime.NumCPU(). Panels are byte-identical at any worker count.
+	Workers int
+	// Context, when non-nil, cancels the study.
+	Context context.Context
+	// Cache, when non-nil, memoizes per-cell results (see Fig7Options).
+	Cache *runner.Cache
 }
 
 func (o *Fig8Options) defaults() {
@@ -135,9 +148,6 @@ func (o *Fig8Options) defaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x5ca1e
-	}
-	if o.Progress == nil {
-		o.Progress = func(string) {}
 	}
 }
 
@@ -164,17 +174,75 @@ type Fig8Panel struct {
 
 // Fig8 runs the 8-node scaling study of the paper's Figure 8: HPCCG,
 // miniFE and LAMMPS at 4–32 ranks (4 per node) with per-node kernel-build
-// interference, HPMMAP versus THP.
+// interference, HPMMAP versus THP. The grid executes as one runner plan:
+// independent cells on a bounded worker pool with coordinate-derived
+// seeds, byte-identical at any Workers setting.
 func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 	o.defaults()
-	seeds := sim.NewRand(o.Seed)
-	var panels []Fig8Panel
+	specs := make(map[string]workload.AppSpec, len(o.Benches))
 	for _, bench := range o.Benches {
 		base, ok := workload.ByName(bench)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
 		}
-		spec := base.ScaleWork(clusterWorkFactor(bench))
+		specs[bench] = base.ScaleWork(clusterWorkFactor(bench))
+	}
+
+	type cellMeta struct {
+		prof Profile
+		kind ManagerKind
+	}
+	plan := runner.Plan{Name: "fig8", Seed: o.Seed}
+	var metas []cellMeta
+	for _, bench := range o.Benches {
+		for _, prof := range o.Profiles {
+			for _, kind := range o.Managers {
+				for _, ranks := range o.Ranks {
+					for run := 0; run < o.Runs; run++ {
+						plan.Cells = append(plan.Cells, runner.Cell{
+							Exp: "fig8", Bench: bench, Profile: prof.String(),
+							Manager: kind.Key(), Cores: ranks, Run: run,
+						})
+						metas = append(metas, cellMeta{prof: prof, kind: kind})
+					}
+				}
+			}
+		}
+	}
+
+	results, err := runner.Run(runner.Options{
+		Workers:  o.Workers,
+		Context:  o.Context,
+		Progress: runtimeProgress(o.Progress),
+	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (fig7Cell, error) {
+		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
+		var cc fig7Cell
+		if o.Cache.Get(key, &cc) {
+			return cc, nil
+		}
+		out, err := ExecuteCluster(ClusterRun{
+			Bench:   specs[cell.Bench],
+			Kind:    metas[idx].kind,
+			Profile: metas[idx].prof,
+			Ranks:   cell.Cores,
+			Seed:    seed,
+			Scale:   o.Scale,
+			Context: ctx,
+		})
+		if err != nil {
+			return fig7Cell{}, err
+		}
+		cc.RuntimeSec = out.RuntimeSec
+		_ = o.Cache.Put(key, cc)
+		return cc, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+
+	var panels []Fig8Panel
+	i := 0
+	for _, bench := range o.Benches {
 		for _, prof := range o.Profiles {
 			panel := Fig8Panel{Bench: bench, Profile: prof}
 			for _, kind := range o.Managers {
@@ -183,19 +251,10 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 					var sample stats.Sample
 					var runs []float64
 					for run := 0; run < o.Runs; run++ {
-						out, err := ExecuteCluster(ClusterRun{
-							Bench:   spec,
-							Kind:    kind,
-							Profile: prof,
-							Ranks:   ranks,
-							Seed:    seeds.Uint64(),
-							Scale:   o.Scale,
-						})
-						if err != nil {
-							return nil, fmt.Errorf("fig8 %s/%s/%s/%d: %w", bench, prof, kind, ranks, err)
-						}
-						sample.Add(out.RuntimeSec)
-						runs = append(runs, out.RuntimeSec)
+						cc := results[i]
+						i++
+						sample.Add(cc.RuntimeSec)
+						runs = append(runs, cc.RuntimeSec)
 					}
 					series.Points = append(series.Points, Fig8Point{
 						Ranks:    ranks,
@@ -203,8 +262,6 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 						StdevSec: sample.Stdev(),
 						Runs:     runs,
 					})
-					o.Progress(fmt.Sprintf("fig8 %s profile %s %s ranks=%d: %.1f ± %.1f s",
-						bench, prof, kind, ranks, sample.Mean(), sample.Stdev()))
 				}
 				panel.Series = append(panel.Series, series)
 			}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hpmmap/internal/cluster"
@@ -20,6 +21,12 @@ import (
 	"hpmmap/internal/trace"
 	"hpmmap/internal/workload"
 )
+
+// ModelVersion identifies the simulator's cost-model generation. It is
+// folded into every result-cache key (runner.NewCache version), so
+// cached cells from an older model can never be confused with fresh
+// ones. Bump it whenever a calibrated constant or cost path changes.
+const ModelVersion = "sim-v1"
 
 // ManagerKind selects one of the paper's three memory-management
 // configurations.
@@ -44,6 +51,20 @@ func (k ManagerKind) String() string {
 		return "HPMMAP"
 	}
 	return "?"
+}
+
+// Key returns the short, stable identifier used in runner cell
+// coordinates and result-cache keys.
+func (k ManagerKind) Key() string {
+	switch k {
+	case THP:
+		return "thp"
+	case HugeTLBfs:
+		return "hugetlbfs"
+	case HPMMAP:
+		return "hpmmap"
+	}
+	return "unknown"
 }
 
 // Profile is a competing-commodity-workload profile from the paper.
@@ -254,10 +275,23 @@ func scaleSpec(spec workload.AppSpec, sc Scale) workload.AppSpec {
 
 // runToCompletion steps the engine until done flips (the engine always
 // has periodic daemons queued, so draining is not a termination signal).
-func runToCompletion(eng *sim.Engine, done *bool) error {
+// ctx is polled every few tens of thousands of events so a cancelled or
+// timed-out run stops mid-simulation rather than at the next cell
+// boundary; nil means no cancellation.
+func runToCompletion(ctx context.Context, eng *sim.Engine, done *bool) error {
+	const checkEvery = 1 << 16
+	steps := 0
 	for !*done {
 		if !eng.Step() {
 			return fmt.Errorf("experiments: engine drained before completion")
+		}
+		if steps++; steps >= checkEvery {
+			steps = 0
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("experiments: run cancelled: %w", err)
+				}
+			}
 		}
 	}
 	return nil
@@ -274,6 +308,9 @@ type SingleRun struct {
 	Scale   Scale
 	// Recorder, when non-nil, captures rank 0's faults (Figs. 2–5).
 	Recorder *trace.Recorder
+	// Context, when non-nil, cancels the simulation mid-run (polled
+	// every few tens of thousands of engine events).
+	Context context.Context
 }
 
 // RunOutcome reports one completed run.
@@ -394,7 +431,7 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 	if err != nil {
 		return RunOutcome{}, err
 	}
-	if err := runToCompletion(rig.eng, &done); err != nil {
+	if err := runToCompletion(rs.Context, rig.eng, &done); err != nil {
 		return RunOutcome{}, err
 	}
 	if res.Err != nil {

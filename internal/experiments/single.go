@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"hpmmap/internal/sim"
+	"hpmmap/internal/runner"
 	"hpmmap/internal/stats"
 	"hpmmap/internal/workload"
 )
@@ -17,7 +18,23 @@ type Fig7Options struct {
 	Runs       int // default: 10, as in the paper
 	Seed       uint64
 	Scale      Scale
-	Progress   func(string)
+	// Progress receives one line per completed cell. Thread-safety
+	// contract: it is invoked from the runner's serialized progress sink,
+	// so calls never overlap even at Workers > 1 and the callback may
+	// write to unsynchronized state (a terminal, a plain counter).
+	Progress func(string)
+	// Workers bounds the parallel worker pool dispatching the grid's
+	// cells; <= 0 selects runtime.NumCPU(). Results are byte-identical
+	// at any worker count: every cell's seed derives from its grid
+	// coordinates, never from execution order.
+	Workers int
+	// Context, when non-nil, cancels the study (first error or
+	// cancellation stops the remaining cells).
+	Context context.Context
+	// Cache, when non-nil, memoizes per-cell results keyed by
+	// exp/cell/seed/scale/version so reports can be regenerated without
+	// re-simulating unchanged cells.
+	Cache *runner.Cache
 }
 
 func (o *Fig7Options) defaults() {
@@ -41,9 +58,6 @@ func (o *Fig7Options) defaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x7e57
-	}
-	if o.Progress == nil {
-		o.Progress = func(string) {}
 	}
 }
 
@@ -69,19 +83,105 @@ type Fig7Panel struct {
 	Series  []Fig7Series
 }
 
+// fig7Cell is the cached/reduced unit of one single-node run.
+type fig7Cell struct {
+	RuntimeSec float64 `json:"runtime_sec"`
+	Faults     uint64  `json:"faults"`
+}
+
+// runtimeProgress adapts a legacy func(string) progress option onto the
+// runner's serialized event sink, appending the cell's runtime.
+func runtimeProgress(p func(string)) func(runner.Event) {
+	if p == nil {
+		return nil
+	}
+	return func(e runner.Event) {
+		msg := e.String()
+		if cc, ok := e.Result.(fig7Cell); ok {
+			msg += fmt.Sprintf(": %.1f s", cc.RuntimeSec)
+		}
+		p(msg)
+	}
+}
+
 // Fig7 runs the single-node experiments of the paper's Figure 7: each
 // benchmark in weak-scaling mode on 1, 2, 4 and 8 cores, under commodity
 // profiles A and B, for each memory manager, averaging the given number
-// of runs.
+// of runs. The grid executes as one runner plan: independent cells on a
+// bounded worker pool with coordinate-derived seeds, so the panels are
+// identical at any Workers setting.
 func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 	o.defaults()
-	seeds := sim.NewRand(o.Seed)
-	var panels []Fig7Panel
+	specs := make(map[string]workload.AppSpec, len(o.Benches))
 	for _, bench := range o.Benches {
 		spec, ok := workload.ByName(bench)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
 		}
+		specs[bench] = spec
+	}
+
+	type cellMeta struct {
+		prof Profile
+		kind ManagerKind
+	}
+	plan := runner.Plan{Name: "fig7", Seed: o.Seed}
+	var metas []cellMeta
+	for _, bench := range o.Benches {
+		for _, prof := range o.Profiles {
+			for _, kind := range o.Managers {
+				for _, cores := range o.CoreCounts {
+					for run := 0; run < o.Runs; run++ {
+						plan.Cells = append(plan.Cells, runner.Cell{
+							Exp: "fig7", Bench: bench, Profile: prof.String(),
+							Manager: kind.Key(), Cores: cores, Run: run,
+						})
+						metas = append(metas, cellMeta{prof: prof, kind: kind})
+					}
+				}
+			}
+		}
+	}
+
+	results, err := runner.Run(runner.Options{
+		Workers:  o.Workers,
+		Context:  o.Context,
+		Progress: runtimeProgress(o.Progress),
+	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (fig7Cell, error) {
+		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
+		var cc fig7Cell
+		if o.Cache.Get(key, &cc) {
+			return cc, nil
+		}
+		out, err := ExecuteSingleNode(SingleRun{
+			Bench:   specs[cell.Bench],
+			Kind:    metas[idx].kind,
+			Profile: metas[idx].prof,
+			Ranks:   cell.Cores,
+			Seed:    seed,
+			Scale:   o.Scale,
+			Context: ctx,
+		})
+		if err != nil {
+			return fig7Cell{}, err
+		}
+		cc.RuntimeSec = out.RuntimeSec
+		for _, rr := range out.Result.Ranks {
+			cc.Faults += rr.Faults.TotalFaults()
+		}
+		// A failed Put only costs a future re-simulation.
+		_ = o.Cache.Put(key, cc)
+		return cc, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+
+	// Reduce in declaration order (results are indexed by cell position,
+	// independent of completion order).
+	var panels []Fig7Panel
+	i := 0
+	for _, bench := range o.Benches {
 		for _, prof := range o.Profiles {
 			panel := Fig7Panel{Bench: bench, Profile: prof}
 			for _, kind := range o.Managers {
@@ -91,22 +191,11 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 					var faults uint64
 					var runs []float64
 					for run := 0; run < o.Runs; run++ {
-						out, err := ExecuteSingleNode(SingleRun{
-							Bench:   spec,
-							Kind:    kind,
-							Profile: prof,
-							Ranks:   cores,
-							Seed:    seeds.Uint64(),
-							Scale:   o.Scale,
-						})
-						if err != nil {
-							return nil, fmt.Errorf("fig7 %s/%s/%s/%d: %w", bench, prof, kind, cores, err)
-						}
-						sample.Add(out.RuntimeSec)
-						runs = append(runs, out.RuntimeSec)
-						for _, rr := range out.Result.Ranks {
-							faults += rr.Faults.TotalFaults()
-						}
+						cc := results[i]
+						i++
+						sample.Add(cc.RuntimeSec)
+						runs = append(runs, cc.RuntimeSec)
+						faults += cc.Faults
 					}
 					series.Points = append(series.Points, Fig7Point{
 						Cores:       cores,
@@ -115,8 +204,6 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 						Runs:        runs,
 						FaultTotals: faults / uint64(o.Runs),
 					})
-					o.Progress(fmt.Sprintf("fig7 %s profile %s %s cores=%d: %.1f ± %.1f s",
-						bench, prof, kind, cores, sample.Mean(), sample.Stdev()))
 				}
 				panel.Series = append(panel.Series, series)
 			}

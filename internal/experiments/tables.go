@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hpmmap/internal/fault"
+	"hpmmap/internal/runner"
 	"hpmmap/internal/trace"
 	"hpmmap/internal/workload"
 )
@@ -31,6 +33,15 @@ type FaultStudyOptions struct {
 	Ranks int // default 8
 	Seed  uint64
 	Scale Scale
+	// Workers bounds the worker pool running the study's load conditions
+	// (and, for Fig5, its benchmarks) in parallel; <= 0 selects
+	// runtime.NumCPU(). Results are identical at any worker count.
+	Workers int
+	// Context, when non-nil, cancels the study.
+	Context context.Context
+	// Progress receives one line per completed cell from the runner's
+	// serialized sink (calls never overlap).
+	Progress func(string)
 }
 
 func (o *FaultStudyOptions) defaults() {
@@ -48,47 +59,96 @@ func (o *FaultStudyOptions) defaults() {
 	}
 }
 
-// RunFaultStudy executes the study under no load and under profile A.
-func RunFaultStudy(o FaultStudyOptions) (FaultStudy, error) {
-	o.defaults()
-	spec, ok := workload.ByName(o.Bench)
-	if !ok {
-		return FaultStudy{}, fmt.Errorf("experiments: unknown benchmark %q", o.Bench)
+// studyProfiles are the two load conditions of every fault study.
+var studyProfiles = []Profile{ProfileNone, ProfileA}
+
+// faultStudies runs the benches × {no load, profile A} grid at micro
+// fidelity through the runner and reduces it into one study per bench.
+func faultStudies(o FaultStudyOptions, benches []string) ([]FaultStudy, error) {
+	specs := make(map[string]workload.AppSpec, len(benches))
+	for _, bench := range benches {
+		spec, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+		}
+		specs[bench] = spec
 	}
-	fs := FaultStudy{Bench: o.Bench, Kind: o.Kind}
-	for _, prof := range []Profile{ProfileNone, ProfileA} {
+	plan := runner.Plan{Name: "faultstudy", Seed: o.Seed}
+	var profs []Profile
+	for _, bench := range benches {
+		for _, prof := range studyProfiles {
+			plan.Cells = append(plan.Cells, runner.Cell{
+				Exp: "faultstudy", Bench: bench, Profile: prof.String(),
+				Manager: o.Kind.Key(), Cores: o.Ranks, Run: 0,
+			})
+			profs = append(profs, prof)
+		}
+	}
+	recs, err := runner.Run(runner.Options{
+		Workers:  o.Workers,
+		Context:  o.Context,
+		Progress: runtimeProgress(o.Progress),
+	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (*trace.Recorder, error) {
 		rec := trace.NewRecorder()
 		_, err := ExecuteSingleNode(SingleRun{
-			Bench:    spec,
+			Bench:    specs[cell.Bench],
 			Kind:     o.Kind,
-			Profile:  prof,
+			Profile:  profs[idx],
 			Ranks:    o.Ranks,
-			Seed:     o.Seed + uint64(prof)*17,
+			Seed:     seed,
 			Detail:   true,
 			Scale:    o.Scale,
 			Recorder: rec,
+			Context:  ctx,
 		})
 		if err != nil {
-			return FaultStudy{}, err
+			return nil, err
 		}
-		fs.Rows = append(fs.Rows, FaultStudyRow{
-			Loaded:    prof != ProfileNone,
-			Summaries: rec.Summarize(),
-			Recorder:  rec,
-		})
+		return rec, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("faultstudy: %w", err)
 	}
-	return fs, nil
+	var out []FaultStudy
+	i := 0
+	for _, bench := range benches {
+		fs := FaultStudy{Bench: bench, Kind: o.Kind}
+		for _, prof := range studyProfiles {
+			rec := recs[i]
+			i++
+			fs.Rows = append(fs.Rows, FaultStudyRow{
+				Loaded:    prof != ProfileNone,
+				Summaries: rec.Summarize(),
+				Recorder:  rec,
+			})
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// RunFaultStudy executes the study under no load and under profile A.
+func RunFaultStudy(o FaultStudyOptions) (FaultStudy, error) {
+	o.defaults()
+	studies, err := faultStudies(o, []string{o.Bench})
+	if err != nil {
+		return FaultStudy{}, err
+	}
+	return studies[0], nil
 }
 
 // Fig2 reproduces the paper's Figure 2: THP fault-handling cycles for
-// miniMD, with and without added load.
-func Fig2(seed uint64, sc Scale) (FaultStudy, error) {
-	return RunFaultStudy(FaultStudyOptions{Kind: THP, Seed: seed, Scale: sc})
+// miniMD, with and without added load. Bench and Kind in o are
+// overridden; Seed, Scale, Workers, Context and Progress apply.
+func Fig2(o FaultStudyOptions) (FaultStudy, error) {
+	o.Bench, o.Kind = "", THP
+	return RunFaultStudy(o)
 }
 
 // Fig3 reproduces Figure 3: the same study under HugeTLBfs.
-func Fig3(seed uint64, sc Scale) (FaultStudy, error) {
-	return RunFaultStudy(FaultStudyOptions{Kind: HugeTLBfs, Seed: seed, Scale: sc})
+func Fig3(o FaultStudyOptions) (FaultStudy, error) {
+	o.Bench, o.Kind = "", HugeTLBfs
+	return RunFaultStudy(o)
 }
 
 // Timeline is one fault-scatter plot (Figures 4 and 5).
@@ -99,8 +159,8 @@ type Timeline struct {
 
 // Fig4 reproduces Figure 4: the THP fault timeline for miniMD without
 // (a) and with (b) competition, plus the lower-quarter zooms (c) and (d).
-func Fig4(seed uint64, sc Scale) ([]Timeline, error) {
-	fs, err := Fig2(seed, sc)
+func Fig4(o FaultStudyOptions) ([]Timeline, error) {
+	fs, err := Fig2(o)
 	if err != nil {
 		return nil, err
 	}
@@ -133,20 +193,25 @@ func lowerQuarter(r *trace.Recorder) *trace.Recorder {
 	return out
 }
 
+// fig5Benches are the paper's Figure 5 subjects.
+var fig5Benches = []string{"HPCCG", "CoMD", "miniFE"}
+
 // Fig5 reproduces Figure 5: HugeTLBfs fault timelines for HPCCG, CoMD and
 // miniFE, each without (top row) and with (bottom row) kernel-build
-// competition.
-func Fig5(seed uint64, sc Scale) ([]Timeline, error) {
+// competition. All six cells execute as one runner plan.
+func Fig5(o FaultStudyOptions) ([]Timeline, error) {
+	o.Bench, o.Kind = "", HugeTLBfs
+	o.defaults()
+	studies, err := faultStudies(o, fig5Benches)
+	if err != nil {
+		return nil, err
+	}
 	var out []Timeline
-	for _, bench := range []string{"HPCCG", "CoMD", "miniFE"} {
-		fs, err := RunFaultStudy(FaultStudyOptions{Bench: bench, Kind: HugeTLBfs, Seed: seed, Scale: sc})
-		if err != nil {
-			return nil, err
-		}
+	for _, fs := range studies {
 		for _, row := range fs.Rows {
-			label := fmt.Sprintf("%s, no competition", bench)
+			label := fmt.Sprintf("%s, no competition", fs.Bench)
 			if row.Loaded {
-				label = fmt.Sprintf("%s, with kernel-build competition", bench)
+				label = fmt.Sprintf("%s, with kernel-build competition", fs.Bench)
 			}
 			out = append(out, Timeline{Title: label, Recorder: row.Recorder})
 		}

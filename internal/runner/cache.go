@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a JSON result cache keyed by experiment cell coordinates. It
+// lets report generation (cmd/hpmmap-report -cache-dir) regenerate tables
+// without re-simulating unchanged cells: a cell's key covers the
+// experiment, every cell coordinate, the derived seed, the scale, and a
+// version string that consumers bump whenever the simulator's cost model
+// changes, so stale entries can never be confused with fresh ones.
+//
+// Entries are one JSON file per key, written atomically (temp file +
+// rename), so concurrent workers may Put distinct cells safely. A nil
+// *Cache is a valid no-op cache: Get always misses and Put discards.
+type Cache struct {
+	dir     string
+	version string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir. version is
+// folded into every key.
+func NewCache(dir, version string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &Cache{dir: dir, version: version}, nil
+}
+
+// Key builds the cache key for one cell of a plan. scale is the
+// experiment's problem-scale factor (part of the result's identity).
+func (c *Cache) Key(plan string, cell Cell, seed uint64, scale float64) string {
+	v := ""
+	if c != nil {
+		v = c.version
+	}
+	raw := fmt.Sprintf("v=%s|plan=%s|exp=%s|bench=%s|prof=%s|mgr=%s|var=%s|cores=%d|run=%d|seed=%016x|scale=%g",
+		v, plan, cell.Exp, cell.Bench, cell.Profile, cell.Manager, cell.Variant,
+		cell.Cores, cell.Run, seed, scale)
+	sum := sha256.Sum256([]byte(raw))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Get loads the cached value for key into out, reporting whether it hit.
+// Any read or decode failure is treated as a miss (the cell re-runs).
+func (c *Cache) Get(key string, out any) bool {
+	if c == nil {
+		return false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// Put stores v under key. Errors are returned but callers may ignore
+// them: a failed Put only costs a future re-simulation.
+func (c *Cache) Put(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("runner: cache temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache rename: %w", err)
+	}
+	return nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

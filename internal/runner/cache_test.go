@@ -1,0 +1,84 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type cachedCell struct {
+	RuntimeSec float64
+	Faults     uint64
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := NewCache(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "thp", Cores: 4, Run: 2}
+	key := c.Key("fig7", cell, 0xdead, 0.25)
+	var out cachedCell
+	if c.Get(key, &out) {
+		t.Fatal("hit before put")
+	}
+	want := cachedCell{RuntimeSec: 151.25, Faults: 1337}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &out) || out != want {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+}
+
+func TestCacheKeyIdentity(t *testing.T) {
+	c, _ := NewCache(t.TempDir(), "v1")
+	cell := Cell{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "thp", Cores: 4, Run: 2}
+	base := c.Key("fig7", cell, 1, 1)
+	// Any identity component changing must change the key.
+	if c.Key("fig7", cell, 2, 1) == base {
+		t.Fatal("seed not in key")
+	}
+	if c.Key("fig7", cell, 1, 0.5) == base {
+		t.Fatal("scale not in key")
+	}
+	other := cell
+	other.Run = 3
+	if c.Key("fig7", other, 1, 1) == base {
+		t.Fatal("run index not in key")
+	}
+	c2, _ := NewCache(t.TempDir(), "v2")
+	if c2.Key("fig7", cell, 1, 1) == base {
+		t.Fatal("version not in key")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewCache(dir, "v1")
+	key := c.Key("x", Cell{Exp: "x"}, 1, 1)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out cachedCell
+	if c.Get(key, &out) {
+		t.Fatal("corrupt entry reported as hit")
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	var out cachedCell
+	if c.Get(c.Key("x", Cell{}, 1, 1), &out) {
+		t.Fatal("nil cache hit")
+	}
+	if err := c.Put("k", out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := NewCache("", "v"); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

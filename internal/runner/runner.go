@@ -1,0 +1,236 @@
+// Package runner is the experiment-orchestration subsystem: a declarative
+// run plan (an experiment name plus a grid of independent cells) executed
+// by a bounded worker pool with deterministic per-cell seeding.
+//
+// The design contract, relied on by every figure harness in
+// internal/experiments:
+//
+//   - A Cell's PRNG seed is a pure function of the plan's base seed and
+//     the cell's coordinates (bench/profile/manager/cores/run-index),
+//     derived through a SplitMix64 finalizer chain — never from execution
+//     order. Results are therefore byte-identical at any worker count,
+//     including 1.
+//   - Results are returned indexed by the cell's position in Plan.Cells,
+//     so reducers fold them in declaration order regardless of which
+//     worker finished first.
+//   - Progress events are emitted through a single serialized sink: the
+//     Progress callback is never invoked concurrently with itself, so
+//     consumers may write to unsynchronized state (a terminal, a log
+//     line buffer) without locking.
+//   - The first cell error cancels the remaining cells and is returned;
+//     worker panics are contained and converted into errors.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Cell is one point of an experiment grid. The string/int coordinates
+// identify the cell uniquely within its experiment; they feed both the
+// deterministic seed derivation (Seed) and the result-cache key.
+type Cell struct {
+	// Exp names the experiment ("fig7", "fig8", "faultstudy", ...).
+	Exp string
+	// Bench is the benchmark name ("HPCCG", "miniMD", ...).
+	Bench string
+	// Profile is the commodity-load profile ("none", "A", ... ).
+	Profile string
+	// Manager is the memory-manager key ("thp", "hugetlbfs", "hpmmap").
+	Manager string
+	// Variant is an optional extra coordinate for experiments with an
+	// axis beyond the standard five (noise base/noisy, sweep knob value).
+	Variant string
+	// Cores is the core count (single node) or rank count (cluster).
+	Cores int
+	// Run is the repetition index within the cell's coordinates.
+	Run int
+}
+
+// String renders the cell compactly for progress lines and errors.
+func (c Cell) String() string {
+	s := c.Exp
+	if c.Bench != "" {
+		s += " " + c.Bench
+	}
+	if c.Profile != "" {
+		s += "/" + c.Profile
+	}
+	if c.Manager != "" {
+		s += "/" + c.Manager
+	}
+	if c.Variant != "" {
+		s += "/" + c.Variant
+	}
+	s += fmt.Sprintf("/c%d#%d", c.Cores, c.Run)
+	return s
+}
+
+// Plan is a named experiment: a base seed and a grid of independent cells.
+type Plan struct {
+	Name  string
+	Seed  uint64
+	Cells []Cell
+}
+
+// Event is one progress notification. Events are delivered in completion
+// order through the serialized sink; Done counts completed cells.
+type Event struct {
+	Plan string
+	// Cell that just completed (or failed); Index is its position in
+	// Plan.Cells.
+	Cell  Cell
+	Index int
+	// Done of Total cells have completed.
+	Done, Total int
+	// Elapsed is the wall-clock time since the executor started; ETA
+	// extrapolates the remaining time from the mean cell rate so far.
+	Elapsed, ETA time.Duration
+	// Result is the cell function's returned value (nil on error).
+	Result any
+	// Err is the cell's error, if any.
+	Err error
+}
+
+// String renders a progress line with done/total and ETA.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %d/%d (ETA %s) %s", e.Plan, e.Done, e.Total,
+		e.ETA.Round(time.Second), e.Cell)
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Options configures an execution.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 selects runtime.NumCPU().
+	Workers int
+	// Context cancels the run; nil means context.Background(). The
+	// context handed to cell functions is cancelled on the first cell
+	// error as well.
+	Context context.Context
+	// Progress, when non-nil, receives one event per completed cell
+	// through a serialized sink: invocations never overlap, so the
+	// callback may touch unsynchronized state.
+	Progress func(Event)
+}
+
+// CellFunc computes one cell. idx is the cell's position in Plan.Cells;
+// seed is the cell's coordinate-derived PRNG seed. The function must not
+// retain ctx past its return and must be safe to call concurrently with
+// itself on different cells.
+type CellFunc[T any] func(ctx context.Context, idx int, cell Cell, seed uint64) (T, error)
+
+// Run executes every cell of the plan on a bounded worker pool and
+// returns the results indexed by cell position. The first error cancels
+// the remaining cells and is returned (cells already running finish or
+// observe ctx cancellation). A nil error means every cell completed.
+func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(plan.Cells) {
+		workers = len(plan.Cells)
+	}
+	results := make([]T, len(plan.Cells))
+	if len(plan.Cells) == 0 {
+		return results, parent.Err()
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex // serializes progress + first-error recording
+		firstErr error
+		done     int
+		start    = time.Now()
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	emit := func(idx int, res any, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if opts.Progress == nil {
+			return
+		}
+		elapsed := time.Since(start)
+		var eta time.Duration
+		if rem := len(plan.Cells) - done; rem > 0 && done > 0 {
+			eta = time.Duration(float64(elapsed) / float64(done) * float64(rem))
+		}
+		opts.Progress(Event{
+			Plan: plan.Name, Cell: plan.Cells[idx], Index: idx,
+			Done: done, Total: len(plan.Cells),
+			Elapsed: elapsed, ETA: eta,
+			Result: res, Err: err,
+		})
+	}
+
+	// runCell contains panics so one bad cell cannot take down the
+	// process; the recovered value becomes the cell's error.
+	runCell := func(idx int) (out T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("runner: panic in cell %s: %v\n%s",
+					plan.Cells[idx], r, debug.Stack())
+			}
+		}()
+		return fn(ctx, idx, plan.Cells[idx], plan.Cells[idx].Seed(plan.Seed))
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain without executing
+				}
+				out, err := runCell(idx)
+				if err != nil {
+					fail(fmt.Errorf("%s: %w", plan.Cells[idx], err))
+					emit(idx, nil, err)
+					continue
+				}
+				results[idx] = out
+				emit(idx, out, nil)
+			}
+		}()
+	}
+	for idx := range plan.Cells {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return results, err
+	}
+	if cerr := parent.Err(); cerr != nil {
+		return results, cerr
+	}
+	return results, nil
+}

@@ -1,0 +1,71 @@
+package runner
+
+// Deterministic per-cell seed derivation.
+//
+// Every cell's seed is a pure function of (base seed, cell coordinates):
+// the base seed opens a SplitMix64 substream and each coordinate —
+// including a length/field tag so "ab"+"c" never aliases "a"+"bc" — is
+// absorbed through the SplitMix64 finalizer. Nothing depends on execution
+// order, so a plan produces identical per-cell streams at any worker
+// count, and adding a cell to a grid never shifts the seeds of the
+// others.
+//
+// This replaces the additive schemes the figure harnesses used to use
+// (base + runIndex*17, base + prof*17, base + i*104729, ...), which can
+// collide across grid dimensions: base+2*17 for run 2 of one axis equals
+// base+1*34 of another, and two experiments sharing a base seed reuse
+// entire streams. The finalizer chain gives 64-bit avalanche per
+// coordinate, so distinct coordinates yield distinct, well-mixed seeds
+// (see TestSeedNoCollisions for the regression grid).
+
+// splitmix64 is the SplitMix64 finalizer: advances state by the golden
+// gamma and returns (newState, output). Matches internal/sim's seeding
+// primitive so cell seeds feed sim.NewRand with full-state mixing.
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// absorb folds one 64-bit coordinate into the running state.
+func absorb(state, v uint64) uint64 {
+	state, out := splitmix64(state ^ v)
+	_, out2 := splitmix64(state ^ out)
+	return out2
+}
+
+// hashString folds a string coordinate (FNV-1a 64, then finalized).
+func hashString(s string) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	// Tag with the length so empty fields still advance the chain
+	// distinctly from absent ones.
+	h ^= uint64(len(s)) << 56
+	_, out := splitmix64(h)
+	return out
+}
+
+// Seed derives the cell's PRNG seed from the plan's base seed and the
+// cell's coordinates. Independent of execution order and worker count.
+func (c Cell) Seed(base uint64) uint64 {
+	// Distinct field tags keep (Bench="x",Profile="") from aliasing
+	// (Bench="",Profile="x").
+	s := absorb(base, 0x48504d4d41500a01) // "HPMMAP\n" | chain version 1
+	s = absorb(s, 0xe1^hashString(c.Exp))
+	s = absorb(s, 0xe2^hashString(c.Bench))
+	s = absorb(s, 0xe3^hashString(c.Profile))
+	s = absorb(s, 0xe4^hashString(c.Manager))
+	s = absorb(s, 0xe5^hashString(c.Variant))
+	s = absorb(s, 0xe6^uint64(c.Cores))
+	s = absorb(s, 0xe7^uint64(c.Run))
+	return s
+}

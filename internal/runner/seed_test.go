@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestSeedNoCollisions is the regression test for the seed-collision
+// hazard the additive schemes had: across the full Figure 7 grid (4
+// benches x 2 profiles x 3 managers x 4 core counts x 10 runs = 960
+// cells), the full Figure 8 grid, and a second experiment sharing the
+// same base seed, every derived seed must be distinct.
+func TestSeedNoCollisions(t *testing.T) {
+	plans := []Plan{
+		fig7Grid(),
+		grid("fig8", []string{"HPCCG", "miniFE", "LAMMPS"}, []string{"C", "D"},
+			[]string{"hpmmap", "thp"}, []int{4, 8, 16, 32}, 10),
+		grid("fig7b", []string{"HPCCG", "CoMD", "miniMD", "miniFE"}, []string{"A", "B"},
+			[]string{"hpmmap", "thp", "hugetlbfs"}, []int{1, 2, 4, 8}, 10),
+	}
+	seen := map[uint64]Cell{}
+	n := 0
+	for _, p := range plans {
+		for _, c := range p.Cells {
+			s := c.Seed(0x7e57)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %016x", prev, c, s)
+			}
+			seen[s] = c
+			n++
+		}
+	}
+	if n != 960+480+960 {
+		t.Fatalf("grid sizes wrong: %d cells", n)
+	}
+}
+
+// TestAdditiveSchemeCollides documents why the old derivation had to go:
+// base + i*17 across one axis collides with base + j*17 across another as
+// soon as indices overlap, and cross-dimension sums alias freely.
+func TestAdditiveSchemeCollides(t *testing.T) {
+	base := uint64(0x7e57)
+	old := func(prof, run uint64) uint64 { return base + prof*17 + run*34 }
+	if old(2, 0) != old(0, 1) {
+		t.Fatal("expected the additive scheme to collide (prof=2 vs run=1)")
+	}
+	// The coordinate-hashed derivation separates the same two cells.
+	a := Cell{Exp: "faultstudy", Profile: "B", Run: 0}.Seed(base)
+	b := Cell{Exp: "faultstudy", Profile: "none", Run: 1}.Seed(base)
+	if a == b {
+		t.Fatal("coordinate-hashed seeds collided")
+	}
+}
+
+// TestSeedSensitivity: flipping any single coordinate, the base seed, or
+// swapping adjacent string fields must change the seed.
+func TestSeedSensitivity(t *testing.T) {
+	ref := Cell{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "thp", Cores: 4, Run: 2}
+	base := uint64(42)
+	s0 := ref.Seed(base)
+	if ref.Seed(base) != s0 {
+		t.Fatal("seed not deterministic")
+	}
+	variants := []Cell{
+		{Exp: "fig8", Bench: "HPCCG", Profile: "A", Manager: "thp", Cores: 4, Run: 2},
+		{Exp: "fig7", Bench: "CoMD", Profile: "A", Manager: "thp", Cores: 4, Run: 2},
+		{Exp: "fig7", Bench: "HPCCG", Profile: "B", Manager: "thp", Cores: 4, Run: 2},
+		{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "hpmmap", Cores: 4, Run: 2},
+		{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "thp", Cores: 8, Run: 2},
+		{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "thp", Cores: 4, Run: 3},
+		{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "thp", Variant: "x", Cores: 4, Run: 2},
+		// Field transposition must not alias.
+		{Exp: "fig7", Bench: "A", Profile: "HPCCG", Manager: "thp", Cores: 4, Run: 2},
+	}
+	for _, v := range variants {
+		if v.Seed(base) == s0 {
+			t.Fatalf("coordinate change did not change seed: %+v", v)
+		}
+	}
+	if ref.Seed(base+1) == s0 {
+		t.Fatal("base seed change did not change cell seed")
+	}
+}
+
+// TestSeedAvalanche: derived seeds should look random — neighbouring run
+// indices must differ in roughly half their bits, since they feed
+// sim.NewRand directly.
+func TestSeedAvalanche(t *testing.T) {
+	c := Cell{Exp: "fig7", Bench: "HPCCG", Profile: "A", Manager: "thp", Cores: 4}
+	var totalDist int
+	const pairs = 256
+	prev := c.Seed(1)
+	for r := 1; r <= pairs; r++ {
+		c.Run = r
+		s := c.Seed(1)
+		totalDist += bits.OnesCount64(prev ^ s)
+		prev = s
+	}
+	mean := float64(totalDist) / pairs
+	if mean < 24 || mean > 40 {
+		t.Fatalf("mean hamming distance %.1f bits, want ~32", mean)
+	}
+}
