@@ -1,0 +1,29 @@
+# Tier-1 verification for this repository. `make verify` is what CI
+# runs: build everything, run every test, re-run the concurrency-bearing
+# packages under the race detector, and vet. The observability contract
+# (OBSERVABILITY.md rows <-> internal/metrics/names.go constants <->
+# source-tree usage) is enforced by internal/metrics/contract_test.go,
+# which `test` includes.
+
+GO ?= go
+
+.PHONY: verify build test race vet bench
+
+verify: build test race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./internal/runner/... ./internal/experiments/...
+
+vet:
+	$(GO) vet ./...
+
+# Allocation benchmarks for the no-op instrumentation path (must report
+# 0 B/op on BenchmarkUninstrumentedFault).
+bench:
+	$(GO) test -bench 'Fault' -benchmem ./internal/metrics/

@@ -17,6 +17,20 @@
 // changed cells. -scale shrinks the experiment (memory, footprints,
 // iterations) for quick runs; -runs overrides the paper's 10
 // repetitions; -bench and -cores narrow Figure 7 to one cell.
+//
+// Observability (see OBSERVABILITY.md):
+//
+//	-metrics <file>    dump the experiment's merged metric snapshot
+//	                   ("-" = stdout; a .json suffix selects JSON,
+//	                   anything else the Prometheus-style text format)
+//	-trace-out <file>  write a Chrome trace-event JSON file of the run,
+//	                   loadable in Perfetto (ui.perfetto.dev) or
+//	                   chrome://tracing, timestamped by simulated cycles
+//
+// With -exp all, each experiment writes its own artifact with the
+// experiment name spliced into the file name (metrics.txt →
+// metrics-fig7.txt). Cells served from -cache-dir replay their cached
+// metric snapshots but contribute no trace events.
 package main
 
 import (
@@ -30,6 +44,7 @@ import (
 	"time"
 
 	"hpmmap/internal/experiments"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
 )
 
@@ -48,6 +63,9 @@ func main() {
 		plotW    = flag.Int("plot-width", 100, "timeline plot width")
 		plotH    = flag.Int("plot-height", 18, "timeline plot height")
 		outDir   = flag.String("out", "", "also write machine-readable CSVs into this directory")
+
+		metricsOut = flag.String("metrics", "", `write the experiment's merged metric snapshot to this file ("-" = stdout; .json = JSON, else text); supported by fig2-fig5, fig7, fig8`)
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the experiment's cells")
 	)
 	flag.Parse()
 
@@ -66,6 +84,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	observing := *metricsOut != "" || *traceOut != ""
+	if *traceOut != "" && cache != nil {
+		fmt.Fprintln(os.Stderr, "hpmmap-bench: note: cells served from -cache-dir replay cached metrics but contribute no trace events")
+	}
+	multi := *exp == "all"
+	// newObs creates one collector per experiment so cell indexes (and
+	// trace pids) never collide across experiments.
+	newObs := func() *runner.Observations {
+		if !observing {
+			return nil
+		}
+		return runner.NewObservations(0)
+	}
+	writeArtifacts := func(name string, obs *runner.Observations) error {
+		if obs == nil {
+			return nil
+		}
+		if *metricsOut != "" {
+			if err := writeMetricsFile(artifactPath(*metricsOut, name, multi), obs.Merged()); err != nil {
+				return err
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTraceFile(artifactPath(*traceOut, name, multi), obs); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	// The runner delivers progress through a serialized sink, so this
@@ -98,36 +146,44 @@ func main() {
 	}
 
 	run("fig2", func() error {
-		fs, err := experiments.Fig2(study())
+		o, obs := study(), newObs()
+		o.Obs = obs
+		fs, err := experiments.Fig2(o)
 		if err != nil {
 			return err
 		}
 		experiments.WriteFaultStudy(os.Stdout, fs)
-		return nil
+		return writeArtifacts("fig2", obs)
 	})
 	run("fig3", func() error {
-		fs, err := experiments.Fig3(study())
+		o, obs := study(), newObs()
+		o.Obs = obs
+		fs, err := experiments.Fig3(o)
 		if err != nil {
 			return err
 		}
 		experiments.WriteFaultStudy(os.Stdout, fs)
-		return nil
+		return writeArtifacts("fig3", obs)
 	})
 	run("fig4", func() error {
-		tls, err := experiments.Fig4(study())
+		o, obs := study(), newObs()
+		o.Obs = obs
+		tls, err := experiments.Fig4(o)
 		if err != nil {
 			return err
 		}
 		experiments.WriteTimelines(os.Stdout, "Figure 4: THP fault timeline, miniMD", tls, *plotW, *plotH)
-		return nil
+		return writeArtifacts("fig4", obs)
 	})
 	run("fig5", func() error {
-		tls, err := experiments.Fig5(study())
+		o, obs := study(), newObs()
+		o.Obs = obs
+		tls, err := experiments.Fig5(o)
 		if err != nil {
 			return err
 		}
 		experiments.WriteTimelines(os.Stdout, "Figure 5: HugeTLBfs fault timelines", tls, *plotW, *plotH)
-		return nil
+		return writeArtifacts("fig5", obs)
 	})
 	writeCSV := func(name string, lines []string) error {
 		if *outDir == "" {
@@ -140,6 +196,7 @@ func main() {
 	}
 
 	run("fig7", func() error {
+		obs := newObs()
 		opts := experiments.Fig7Options{
 			Runs:     *runs,
 			Seed:     *seed,
@@ -149,6 +206,7 @@ func main() {
 			Workers:  *workers,
 			Context:  ctx,
 			Cache:    cache,
+			Obs:      obs,
 		}
 		for _, c := range splitList(*cores) {
 			v, err := strconv.Atoi(c)
@@ -171,7 +229,10 @@ func main() {
 				}
 			}
 		}
-		return writeCSV("fig7.csv", lines)
+		if err := writeCSV("fig7.csv", lines); err != nil {
+			return err
+		}
+		return writeArtifacts("fig7", obs)
 	})
 	run("noise", func() error {
 		points, err := experiments.NoiseStudy(experiments.NoiseStudyOptions{
@@ -186,6 +247,7 @@ func main() {
 		return nil
 	})
 	run("fig8", func() error {
+		obs := newObs()
 		panels, err := experiments.Fig8(experiments.Fig8Options{
 			Runs:     *runs,
 			Seed:     *seed,
@@ -195,6 +257,7 @@ func main() {
 			Workers:  *workers,
 			Context:  ctx,
 			Cache:    cache,
+			Obs:      obs,
 		})
 		if err != nil {
 			return err
@@ -209,8 +272,58 @@ func main() {
 				}
 			}
 		}
-		return writeCSV("fig8.csv", lines)
+		if err := writeCSV("fig8.csv", lines); err != nil {
+			return err
+		}
+		return writeArtifacts("fig8", obs)
 	})
+}
+
+// artifactPath splices the experiment name into path when several
+// experiments run in one invocation, so later experiments do not
+// overwrite earlier artifacts: metrics.txt -> metrics-fig7.txt. Stdout
+// ("-") is passed through unchanged.
+func artifactPath(path, name string, multi bool) string {
+	if path == "-" || !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + name + ext
+}
+
+// writeMetricsFile dumps a snapshot: "-" writes text to stdout, a .json
+// suffix selects the JSON dump, anything else the Prometheus-style text
+// format.
+func writeMetricsFile(path string, snap metrics.Snapshot) error {
+	write := snap.WriteText
+	if strings.HasSuffix(path, ".json") {
+		write = snap.WriteJSON
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraceFile writes the collector's Chrome trace-event JSON.
+func writeTraceFile(path string, obs *runner.Observations) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {

@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/fault"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
 )
 
@@ -43,7 +46,13 @@ func main() {
 	verbose := flag.Bool("v", false, "per-cell progress with ETA on stderr")
 	skipFig7 := flag.Bool("skip-fig7", false, "skip the single-node sweep")
 	skipFig8 := flag.Bool("skip-fig8", false, "skip the cluster sweep")
+	metricsOut := flag.String("metrics", "", `write the report's merged metric snapshot to this file ("-" = stderr-free stdout is taken by the report, so "-" is rejected; .json = JSON, else text)`)
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON per section (name spliced in: trace.json -> trace-fig2.json)")
 	flag.Parse()
+	if *metricsOut == "-" {
+		fmt.Fprintln(os.Stderr, "hpmmap-report: -metrics - is unsupported (stdout carries the report); use a file path")
+		os.Exit(2)
+	}
 	sc := experiments.Scale(*scale)
 
 	ctx := context.Background()
@@ -67,38 +76,79 @@ func main() {
 		time.Now().Format("2006-01-02 15:04"), *scale)
 
 	section := func(title string) { fmt.Printf("\n## %s\n\n", title) }
+
+	// Per-section observability collectors: one per experiment so cell
+	// indexes (trace pids) never collide. Metrics merge into one file at
+	// the end; traces are written per section.
+	observing := *metricsOut != "" || *traceOut != ""
+	var obsSnaps []metrics.Snapshot
+	obsFor := func(name string) *runner.Observations {
+		if !observing {
+			return nil
+		}
+		return runner.NewObservations(0)
+	}
+	collect := func(name string, obs *runner.Observations) {
+		if obs == nil {
+			return
+		}
+		obsSnaps = append(obsSnaps, obs.Merged())
+		if *traceOut != "" {
+			ext := filepath.Ext(*traceOut)
+			path := strings.TrimSuffix(*traceOut, ext) + "-" + name + ext
+			f, err := os.Create(path)
+			must(err)
+			must(obs.WriteTrace(f))
+			must(f.Close())
+		}
+	}
+
 	study := experiments.FaultStudyOptions{
 		Seed: *seed, Scale: sc,
 		Workers: *workers, Context: ctx, Progress: progress,
 	}
 
 	section("Figure 2 — THP fault costs (miniMD)")
-	fs, err := experiments.Fig2(study)
+	s2 := study
+	obs := obsFor("fig2")
+	s2.Obs = obs
+	fs, err := experiments.Fig2(s2)
 	must(err)
 	faultTable(fs, paperFig2)
+	collect("fig2", obs)
 
 	section("Figure 3 — HugeTLBfs fault costs (miniMD)")
-	fs, err = experiments.Fig3(study)
+	s3 := study
+	obs = obsFor("fig3")
+	s3.Obs = obs
+	fs, err = experiments.Fig3(s3)
 	must(err)
 	faultTable(fs, paperFig3)
+	collect("fig3", obs)
 
 	if !*skipFig7 {
 		section("Figure 7 — single-node weak scaling")
+		obs = obsFor("fig7")
 		panels, err := experiments.Fig7(experiments.Fig7Options{
 			Runs: *runs, Seed: *seed, Scale: sc,
 			Workers: *workers, Context: ctx, Cache: cache, Progress: progress,
+			Obs: obs,
 		})
 		must(err)
 		experiments.WriteFig7(os.Stdout, panels)
+		collect("fig7", obs)
 	}
 	if !*skipFig8 {
 		section("Figure 8 — 8-node scaling study")
+		obs = obsFor("fig8")
 		panels, err := experiments.Fig8(experiments.Fig8Options{
 			Runs: *runs, Seed: *seed, Scale: sc,
 			Workers: *workers, Context: ctx, Cache: cache, Progress: progress,
+			Obs: obs,
 		})
 		must(err)
 		experiments.WriteFig8(os.Stdout, panels)
+		collect("fig8", obs)
 	}
 
 	section("BSP noise amplification (supplementary)")
@@ -110,6 +160,18 @@ func main() {
 	fmt.Println("```")
 	fmt.Print(experiments.WriteNoiseStudy(points))
 	fmt.Println("```")
+
+	if *metricsOut != "" {
+		merged := metrics.Merge(obsSnaps...)
+		write := merged.WriteText
+		if strings.HasSuffix(*metricsOut, ".json") {
+			write = merged.WriteJSON
+		}
+		f, err := os.Create(*metricsOut)
+		must(err)
+		must(write(f))
+		must(f.Close())
+	}
 }
 
 func faultTable(fs experiments.FaultStudy, paper map[string][2][3]float64) {

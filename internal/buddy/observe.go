@@ -1,0 +1,30 @@
+package buddy
+
+import "hpmmap/internal/metrics"
+
+// Observe registers this allocator's statistics with the metrics
+// registry as pull-mode sources, read at snapshot time: alloc/free/
+// split/merge/failure counters, the free-byte gauge, and a
+// fragmentation gauge (1 - largest free block / free bytes; 0 when the
+// pool is empty or perfectly coalesced). Registering multiple
+// allocators (one per NUMA zone) is additive for the counters and the
+// free-byte gauge; the fragmentation ratio sums and should be read per
+// pool when more than one is registered (see OBSERVABILITY.md).
+//
+// Observe is a no-op on a nil registry and costs nothing on the
+// allocation hot path — the allocator's existing counters are the only
+// state touched during Alloc/Free.
+func (a *Allocator) Observe(reg *metrics.Registry) {
+	reg.CounterFunc(metrics.BuddyAllocsTotal, func() uint64 { return a.Allocs })
+	reg.CounterFunc(metrics.BuddyFreesTotal, func() uint64 { return a.Frees })
+	reg.CounterFunc(metrics.BuddySplitsTotal, func() uint64 { return a.Splits })
+	reg.CounterFunc(metrics.BuddyMergesTotal, func() uint64 { return a.Merges })
+	reg.CounterFunc(metrics.BuddyFailuresTotal, func() uint64 { return a.Failures })
+	reg.GaugeFunc(metrics.BuddyFreeBytes, func() float64 { return float64(a.free) })
+	reg.GaugeFunc(metrics.BuddyFragRatio, func() float64 {
+		if a.free == 0 {
+			return 0
+		}
+		return 1 - float64(a.LargestFreeBlock())/float64(a.free)
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hpmmap/internal/kernel"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/sim"
 	"hpmmap/internal/workload"
 )
@@ -40,6 +41,24 @@ type Cluster struct {
 	Nodes []*kernel.Node
 	Net   NetworkConfig
 	rand  *sim.Rand
+
+	// Metric push handles, nil until Observe is called.
+	exchanges  *metrics.Counter
+	commCycles *metrics.Histogram
+}
+
+// Observe instruments the cluster's communication model: every off-node
+// exchange increments cluster_exchanges_total and records its jittered
+// cost (the value actually charged to the rank) in cluster_comm_cycles.
+// The handles are read after the jitter draw, so instrumentation never
+// perturbs the deterministic PRNG stream. No-op on a nil registry; call
+// once, before the application runs.
+func (c *Cluster) Observe(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.exchanges = reg.Counter(metrics.ClusterExchangesTotal)
+	c.commCycles = reg.Histogram(metrics.ClusterCommCycles)
 }
 
 // New builds a cluster of n nodes created by mkNode (which must attach
@@ -137,7 +156,12 @@ func (c *Cluster) CommDelay(spec workload.AppSpec, p Placement) func(iter, rank 
 		}
 		sec += spec.CollectiveFactor * float64(stages) * 2 * c.Net.LatencySec
 		cycles := sim.Cycles(sec * hz)
-		return c.rand.Jitter(cycles, c.Net.Jitter)
+		// Observe after the jitter draw: instrumentation must never
+		// perturb the PRNG stream.
+		cycles = c.rand.Jitter(cycles, c.Net.Jitter)
+		c.exchanges.Inc()
+		c.commCycles.Observe(uint64(cycles))
+		return cycles
 	}
 }
 

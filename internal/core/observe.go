@@ -1,0 +1,19 @@
+package core
+
+import "hpmmap/internal/metrics"
+
+// Observe registers the HPMMAP manager's system-call tallies and its
+// per-zone Kitten buddy pools with the metrics registry, all as pull-mode
+// sources read at snapshot time (the buddy pools aggregate additively
+// under the shared buddy_* names). No-op on a nil registry; the syscall
+// and fault hot paths are untouched.
+func (m *Manager) Observe(reg *metrics.Registry) {
+	reg.CounterFunc(metrics.HPMMAPRegistrationsTotal, func() uint64 { return m.Registrations })
+	reg.CounterFunc(metrics.HPMMAPMapCallsTotal, func() uint64 { return m.MapCalls })
+	reg.CounterFunc(metrics.HPMMAPUnmapCallsTotal, func() uint64 { return m.UnmapCalls })
+	reg.CounterFunc(metrics.HPMMAPBrkCallsTotal, func() uint64 { return m.BrkCalls })
+	reg.CounterFunc(metrics.HPMMAPBytesMapped, func() uint64 { return m.BytesMapped })
+	for _, p := range m.pools {
+		p.Observe(reg)
+	}
+}

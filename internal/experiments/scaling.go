@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hpmmap/internal/cluster"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
 	"hpmmap/internal/stats"
 	"hpmmap/internal/workload"
@@ -34,6 +35,13 @@ type ClusterRun struct {
 	Ranks   int     // 4, 8, 16 or 32; 4 per node
 	Seed    uint64
 	Scale   Scale
+	// Metrics, when non-nil, receives the run's counters/gauges/
+	// histograms (see OBSERVABILITY.md). Per-node subsystems register
+	// additively; engine-level sim_* metrics register once.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives Chrome trace events keyed by
+	// simulated cycles.
+	Tracer *metrics.ChromeTracer
 	// Context, when non-nil, cancels the simulation mid-run.
 	Context context.Context
 }
@@ -57,6 +65,12 @@ func ExecuteCluster(rs ClusterRun) (RunOutcome, error) {
 	if err != nil {
 		return RunOutcome{}, err
 	}
+	rs.Tracer.SetClock(cr.cl.Nodes[0].Config().ClockHz)
+	for _, rg := range cr.rigs {
+		rg.observe(rs.Metrics, rs.Tracer)
+	}
+	cr.cl.Observe(rs.Metrics)
+	observeEngine(rs.Metrics, cr.eng)
 	// 2 ranks per NUMA zone on the 8-core Xeons: cores 0,1 (zone 0) and
 	// 4,5 (zone 1).
 	perZone := cr.cl.Nodes[0].NumCores() / cr.cl.Nodes[0].Config().NumaZones
@@ -82,6 +96,8 @@ func ExecuteCluster(rs ClusterRun) (RunOutcome, error) {
 		Spec:      spec,
 		Ranks:     placements,
 		CommDelay: cr.cl.CommDelay(spec, placement),
+		Metrics:   rs.Metrics,
+		Tracer:    rs.Tracer,
 	}, func(got workload.Result) {
 		res = got
 		for _, b := range builds {
@@ -124,6 +140,9 @@ type Fig8Options struct {
 	Context context.Context
 	// Cache, when non-nil, memoizes per-cell results (see Fig7Options).
 	Cache *runner.Cache
+	// Obs, when non-nil, collects per-cell metric snapshots and Chrome
+	// trace events (see Fig7Options.Obs and OBSERVABILITY.md).
+	Obs *runner.Observations
 }
 
 func (o *Fig8Options) defaults() {
@@ -218,8 +237,15 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var cc fig7Cell
 		if o.Cache.Get(key, &cc) {
-			return cc, nil
+			// Pre-observability cache entries lack the snapshot:
+			// re-simulate so it can be captured (see Fig7).
+			if o.Obs == nil || len(cc.Metrics.Metrics) > 0 {
+				o.Obs.Record(idx, cc.Metrics)
+				return cc, nil
+			}
+			cc = fig7Cell{}
 		}
+		reg, tr := o.Obs.Cell(idx, cell.String())
 		out, err := ExecuteCluster(ClusterRun{
 			Bench:   specs[cell.Bench],
 			Kind:    metas[idx].kind,
@@ -227,12 +253,15 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 			Ranks:   cell.Cores,
 			Seed:    seed,
 			Scale:   o.Scale,
+			Metrics: reg,
+			Tracer:  tr,
 			Context: ctx,
 		})
 		if err != nil {
 			return fig7Cell{}, err
 		}
 		cc.RuntimeSec = out.RuntimeSec
+		cc.Metrics = o.Obs.Snap(idx)
 		_ = o.Cache.Put(key, cc)
 		return cc, nil
 	})

@@ -16,6 +16,7 @@ import (
 	"hpmmap/internal/hugetlb"
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/linuxmm"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/sim"
 	"hpmmap/internal/thp"
 	"hpmmap/internal/trace"
@@ -171,6 +172,39 @@ func (r *rig) install(kind ManagerKind, sc Scale) error {
 	return nil
 }
 
+// observe instruments every subsystem of the rig against one registry
+// and tracer (both nil-safe): the node's fault/scheduler/reclaim paths,
+// the Linux manager's tallies, the HPMMAP manager and its zone pools,
+// and the khugepaged daemon. Engine-level sim_* metrics are registered
+// separately by observeEngine, once per engine — cluster rigs share one
+// engine, and the registry's pull sources are additive.
+func (r *rig) observe(reg *metrics.Registry, tr *metrics.ChromeTracer) {
+	if reg == nil && tr == nil {
+		return
+	}
+	r.node.Observe(reg, tr)
+	if r.mm != nil {
+		r.mm.Observe(reg)
+	}
+	if r.hp != nil {
+		r.hp.Observe(reg)
+	}
+	if r.daemon != nil {
+		r.daemon.Observe(reg, tr)
+	}
+}
+
+// observeEngine registers the engine's event counter and clock with the
+// registry. Call exactly once per engine (not per node): cluster nodes
+// share one engine and pull registration is additive.
+func observeEngine(reg *metrics.Registry, eng *sim.Engine) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(metrics.SimEventsTotal, func() uint64 { return eng.Executed() })
+	reg.GaugeFunc(metrics.SimFinalCycles, func() float64 { return float64(eng.Now()) })
+}
+
 // launcher returns the rank launcher for this rig's HPC processes.
 func (r *rig) launcher() workload.Launcher {
 	if r.hp != nil {
@@ -308,6 +342,14 @@ type SingleRun struct {
 	Scale   Scale
 	// Recorder, when non-nil, captures rank 0's faults (Figs. 2–5).
 	Recorder *trace.Recorder
+	// Metrics, when non-nil, receives the run's counters/gauges/
+	// histograms (see OBSERVABILITY.md); nil leaves every hot path on
+	// its zero-overhead uninstrumented branch.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives Chrome trace events (per-rank
+	// iterations, recorded faults, reclaim/khugepaged activity) keyed by
+	// simulated cycles at the machine's clock rate.
+	Tracer *metrics.ChromeTracer
 	// Context, when non-nil, cancels the simulation mid-run (polled
 	// every few tens of thousands of engine events).
 	Context context.Context
@@ -390,6 +432,9 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 		return RunOutcome{}, err
 	}
 	o.applyRig(rig)
+	rs.Tracer.SetClock(mc.ClockHz)
+	rig.observe(rs.Metrics, rs.Tracer)
+	observeEngine(rs.Metrics, rig.eng)
 	spec := scaleSpec(rs.Bench, rs.Scale)
 	cores, err := pinCores(rig.node, rs.Ranks)
 	if err != nil {
@@ -418,6 +463,8 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 		Spec:     spec,
 		Ranks:    placements,
 		Recorder: rs.Recorder,
+		Metrics:  rs.Metrics,
+		Tracer:   rs.Tracer,
 	}, func(got workload.Result) {
 		res = got
 		for _, b := range builds {

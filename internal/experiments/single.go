@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
 	"hpmmap/internal/stats"
 	"hpmmap/internal/workload"
@@ -35,6 +36,12 @@ type Fig7Options struct {
 	// exp/cell/seed/scale/version so reports can be regenerated without
 	// re-simulating unchanged cells.
 	Cache *runner.Cache
+	// Obs, when non-nil, collects per-cell metric snapshots and Chrome
+	// trace events (see OBSERVABILITY.md). Cached cells replay the
+	// snapshot they stored; cells cached before observability existed
+	// are re-simulated so the snapshot can be captured. Traces are never
+	// cached: a cache-hit cell contributes metrics but no trace events.
+	Obs *runner.Observations
 }
 
 func (o *Fig7Options) defaults() {
@@ -87,6 +94,10 @@ type Fig7Panel struct {
 type fig7Cell struct {
 	RuntimeSec float64 `json:"runtime_sec"`
 	Faults     uint64  `json:"faults"`
+	// Metrics is the cell's registry snapshot, captured when the study
+	// ran with an Observations collector; cached alongside the scalars
+	// so cache hits can replay it.
+	Metrics metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // runtimeProgress adapts a legacy func(string) progress option onto the
@@ -151,8 +162,15 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var cc fig7Cell
 		if o.Cache.Get(key, &cc) {
-			return cc, nil
+			// A cached cell from before observability was enabled has no
+			// snapshot; re-simulate it so the metrics can be captured.
+			if o.Obs == nil || len(cc.Metrics.Metrics) > 0 {
+				o.Obs.Record(idx, cc.Metrics)
+				return cc, nil
+			}
+			cc = fig7Cell{}
 		}
+		reg, tr := o.Obs.Cell(idx, cell.String())
 		out, err := ExecuteSingleNode(SingleRun{
 			Bench:   specs[cell.Bench],
 			Kind:    metas[idx].kind,
@@ -160,6 +178,8 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 			Ranks:   cell.Cores,
 			Seed:    seed,
 			Scale:   o.Scale,
+			Metrics: reg,
+			Tracer:  tr,
 			Context: ctx,
 		})
 		if err != nil {
@@ -169,6 +189,7 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 		for _, rr := range out.Result.Ranks {
 			cc.Faults += rr.Faults.TotalFaults()
 		}
+		cc.Metrics = o.Obs.Snap(idx)
 		// A failed Put only costs a future re-simulation.
 		_ = o.Cache.Put(key, cc)
 		return cc, nil

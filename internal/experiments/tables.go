@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hpmmap/internal/fault"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
 	"hpmmap/internal/trace"
 	"hpmmap/internal/workload"
@@ -15,6 +16,11 @@ type FaultStudyRow struct {
 	Loaded    bool
 	Summaries []trace.KindSummary
 	Recorder  *trace.Recorder
+	// Metrics is the row's registry snapshot, populated when the study
+	// ran with FaultStudyOptions.Obs. Its fault_* counters cover exactly
+	// the recorder's population, so fault_small_faults_total etc.
+	// byte-match the table counts derived from Summaries.
+	Metrics metrics.Snapshot
 }
 
 // FaultStudy is the per-fault measurement study behind Figures 2–5: the
@@ -42,6 +48,10 @@ type FaultStudyOptions struct {
 	// Progress receives one line per completed cell from the runner's
 	// serialized sink (calls never overlap).
 	Progress func(string)
+	// Obs, when non-nil, collects per-cell metric snapshots and Chrome
+	// trace events (see OBSERVABILITY.md). Fault studies are never
+	// cached, so every cell contributes both metrics and trace.
+	Obs *runner.Observations
 }
 
 func (o *FaultStudyOptions) defaults() {
@@ -84,12 +94,17 @@ func faultStudies(o FaultStudyOptions, benches []string) ([]FaultStudy, error) {
 			profs = append(profs, prof)
 		}
 	}
+	type studyCell struct {
+		rec  *trace.Recorder
+		snap metrics.Snapshot
+	}
 	recs, err := runner.Run(runner.Options{
 		Workers:  o.Workers,
 		Context:  o.Context,
 		Progress: runtimeProgress(o.Progress),
-	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (*trace.Recorder, error) {
+	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (studyCell, error) {
 		rec := trace.NewRecorder()
+		reg, tr := o.Obs.Cell(idx, cell.String())
 		_, err := ExecuteSingleNode(SingleRun{
 			Bench:    specs[cell.Bench],
 			Kind:     o.Kind,
@@ -99,12 +114,14 @@ func faultStudies(o FaultStudyOptions, benches []string) ([]FaultStudy, error) {
 			Detail:   true,
 			Scale:    o.Scale,
 			Recorder: rec,
+			Metrics:  reg,
+			Tracer:   tr,
 			Context:  ctx,
 		})
 		if err != nil {
-			return nil, err
+			return studyCell{}, err
 		}
-		return rec, nil
+		return studyCell{rec: rec, snap: o.Obs.Snap(idx)}, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("faultstudy: %w", err)
@@ -114,12 +131,13 @@ func faultStudies(o FaultStudyOptions, benches []string) ([]FaultStudy, error) {
 	for _, bench := range benches {
 		fs := FaultStudy{Bench: bench, Kind: o.Kind}
 		for _, prof := range studyProfiles {
-			rec := recs[i]
+			sc := recs[i]
 			i++
 			fs.Rows = append(fs.Rows, FaultStudyRow{
 				Loaded:    prof != ProfileNone,
-				Summaries: rec.Summarize(),
-				Recorder:  rec,
+				Summaries: sc.rec.Summarize(),
+				Recorder:  sc.rec,
+				Metrics:   sc.snap,
 			})
 		}
 		out = append(out, fs)
@@ -179,17 +197,17 @@ func Fig4(o FaultStudyOptions) ([]Timeline, error) {
 
 func lowerQuarter(r *trace.Recorder) *trace.Recorder {
 	var max uint64
-	for _, rec := range r.Records() {
+	r.Each(func(rec fault.Record) {
 		if uint64(rec.Cost) > max {
 			max = uint64(rec.Cost)
 		}
-	}
+	})
 	out := trace.NewRecorder()
-	for _, rec := range r.Records() {
+	r.Each(func(rec fault.Record) {
 		if uint64(rec.Cost) <= max/4 {
 			out.Record(rec)
 		}
-	}
+	})
 	return out
 }
 

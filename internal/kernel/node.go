@@ -53,6 +53,10 @@ type Node struct {
 	PCAllocFails   uint64
 	ReclaimedPages uint64
 	OOMKills       uint64
+
+	// obs holds the node's metric handles and tracer; nil (the
+	// zero-overhead default) until Observe is called.
+	obs *nodeObs
 }
 
 // Interposer is a memory manager that claims only registered processes —
@@ -155,6 +159,9 @@ func (n *Node) NewProcess(name string, commodity bool, preferredZone int) (*Proc
 		PreferredZone: preferredZone % n.cfg.NumaZones,
 		Commodity:     commodity,
 	}
+	if n.obs != nil {
+		p.PT.Instrument(n.obs.ptWalks, n.obs.ptDepth)
+	}
 	n.nextPID++
 	n.procs[p.PID] = p
 	if err := n.mmFor(p).Attach(p); err != nil {
@@ -212,6 +219,9 @@ func (n *Node) Fork(parent *Process, name string) (*Process, sim.Cycles, error) 
 		PT:            pgtable.New(),
 		PreferredZone: parent.PreferredZone,
 		Commodity:     parent.Commodity,
+	}
+	if n.obs != nil {
+		child.PT.Instrument(n.obs.ptWalks, n.obs.ptDepth)
 	}
 	n.nextPID++
 	n.procs[child.PID] = child
@@ -422,6 +432,7 @@ func (n *Node) kswapdPass() {
 			continue
 		}
 		n.KswapdRuns++
+		n.obs.traceReclaim("kswapd", z.ID, n.eng.Now())
 		need := z.WatermarkHigh - z.FreePages()
 		if need > n.cfg.KswapdBatchPages {
 			need = n.cfg.KswapdBatchPages
@@ -441,6 +452,7 @@ func (n *Node) kswapdPass() {
 // elevated priority), so a single stall covers many subsequent
 // allocations.
 func (n *Node) DirectReclaim(zone int, order int) bool {
+	n.obs.traceReclaim("direct_reclaim", zone, n.eng.Now())
 	z := n.Mem.Zones[zone]
 	before := z.FreePages()
 	pages := mem.PagesPerOrder(order) * 4

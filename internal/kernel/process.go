@@ -101,6 +101,22 @@ func (p *Process) RecordFault(at sim.Cycles, k fault.Kind, cost sim.Cycles, va p
 	if p.Recorder != nil {
 		p.Recorder.Record(fault.Record{At: at, Cost: cost, Kind: k, PID: p.PID, VA: uint64(va), Stalls: stalled})
 	}
+	if o := p.node.obs; o != nil {
+		o.observeFault(p, at, k, cost, stalled)
+	}
+}
+
+// RecordFaultBulk charges n faults of the same kind costing total cycles
+// in aggregate. Used by the aggregate-fidelity touch paths that fold many
+// faults into one event; the bulk population is visible through the
+// app_*/commodity_* metric families but not the recorder-scoped fault_*
+// families (no recorder is attached at aggregate fidelity).
+func (p *Process) RecordFaultBulk(k fault.Kind, n uint64, total sim.Cycles) {
+	p.Faults.Faults[k] += n
+	p.Faults.Cycles[k] += total
+	if o := p.node.obs; o != nil {
+		o.observeFaultBulk(p, n, total)
+	}
 }
 
 func (p *Process) String() string {

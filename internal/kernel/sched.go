@@ -84,10 +84,15 @@ func (n *Node) Run(t *Task, cpuWork, stall sim.Cycles, fn func(elapsed sim.Cycle
 		share = 1
 	}
 	elapsed := cpuWork*sim.Cycles(share) + stall
+	var switches sim.Cycles
 	if share > 1 {
 		// Context-switch and cache-pollution noise while timesharing.
-		per := sim.Cycles(float64(cpuWork) / 2.4e6) // switches at ~1ms granularity
-		elapsed += sim.Cycles(n.rand.Jitter(per*sim.Cycles(n.cfg.CtxSwitch), 0.5))
+		switches = sim.Cycles(float64(cpuWork) / 2.4e6) // switches at ~1ms granularity
+		elapsed += sim.Cycles(n.rand.Jitter(switches*sim.Cycles(n.cfg.CtxSwitch), 0.5))
+	}
+	if o := n.obs; o != nil {
+		o.schedSegments.Inc()
+		o.ctxSwitches.Add(uint64(switches))
 	}
 	start := n.eng.Now()
 	n.eng.Schedule(elapsed, func() {

@@ -1,0 +1,19 @@
+package linuxmm
+
+import "hpmmap/internal/metrics"
+
+// Observe registers the manager's fault-path tallies with the metrics
+// registry as pull-mode sources read at snapshot time. The counters are
+// the manager's existing statistics fields, so the hot paths are
+// untouched. No-op on a nil registry. Multiple managers registering
+// against the same registry (multi-node rigs) aggregate additively.
+func (m *Manager) Observe(reg *metrics.Registry) {
+	reg.CounterFunc(metrics.LinuxmmLargeFaultsTotal, func() uint64 { return m.LargeFaults })
+	reg.CounterFunc(metrics.LinuxmmSmallFaultsTotal, func() uint64 { return m.SmallFaults })
+	reg.CounterFunc(metrics.LinuxmmFallbackFaultsTotal, func() uint64 { return m.FallbackFaults })
+	reg.CounterFunc(metrics.LinuxmmCompactionsTotal, func() uint64 { return m.Compactions })
+	reg.CounterFunc(metrics.LinuxmmReclaimStormsTotal, func() uint64 { return m.ReclaimStorms })
+	reg.CounterFunc(metrics.LinuxmmReclaimStormsHPCTotal, func() uint64 { return m.StormsHPC })
+	reg.CounterFunc(metrics.LinuxmmSplitOnMlockTotal, func() uint64 { return m.SplitOnMlock })
+	reg.CounterFunc(metrics.LinuxmmSwappedOutPagesTotal, func() uint64 { return m.SwappedOutPages })
+}

@@ -43,8 +43,7 @@ func (tc *touchCtx) chargeBulk(k fault.Kind, n uint64, total sim.Cycles) {
 	tc.cum += total
 	tc.stats.Faults[k] += n
 	tc.stats.Cycles[k] += total
-	tc.p.Faults.Faults[k] += n
-	tc.p.Faults.Cycles[k] += total
+	tc.p.RecordFaultBulk(k, n, total)
 }
 
 // TouchRange implements kernel.MemoryManager: the process accesses

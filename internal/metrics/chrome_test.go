@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceGolden pins the exact trace-event JSON emitted for a
+// small fixed scenario: metadata first (process name, thread names in
+// tid order), then events in recording order, timestamps converted at
+// the configured clock with fixed 3-decimal microseconds. Any change to
+// this output invalidates saved traces, so it is compared byte-for-byte.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewChromeTracer(3)
+	tr.SetClock(1e6) // 1 MHz: 1 cycle == 1 microsecond, for readable ts
+	tr.SetProcessName("fig7 HPCCG/A/thp/c2#0")
+	tr.SetThreadName(1, "rank0")
+	tr.SetThreadName(0, "kernel")
+	tr.Complete(1, "fault", "small", 10, 5)
+	tr.Instant(0, "kernel", "kswapd/zone0", 20)
+	tr.Value(0, "sim", "pressure", 30, 0.5)
+
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[
+{"ph":"M","pid":3,"tid":0,"name":"process_name","args":{"name":"fig7 HPCCG/A/thp/c2#0"}},
+{"ph":"M","pid":3,"tid":0,"name":"thread_name","args":{"name":"kernel"}},
+{"ph":"M","pid":3,"tid":1,"name":"thread_name","args":{"name":"rank0"}},
+{"ph":"X","pid":3,"tid":1,"cat":"fault","name":"small","ts":10.000,"dur":5.000},
+{"ph":"i","pid":3,"tid":0,"cat":"kernel","name":"kswapd/zone0","ts":20.000,"s":"t"},
+{"ph":"C","pid":3,"tid":0,"cat":"sim","name":"pressure","ts":30.000,"args":{"value":0.5}}
+]}
+`
+	if got := b.String(); got != want {
+		t.Errorf("trace output:\n%s\nwant:\n%s", got, want)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Error("trace output is not valid JSON")
+	}
+}
+
+// TestChromeTraceEmptyAndNil: an empty call and nil tracers still yield
+// a valid (empty) trace document.
+func TestChromeTraceEmptyAndNil(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Errorf("empty trace invalid JSON: %q", b.String())
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty trace has %d events", len(doc.TraceEvents))
+	}
+}
+
+// TestChromeTraceQuoting: names with quotes, backslashes and control
+// characters must be escaped into valid JSON.
+func TestChromeTraceQuoting(t *testing.T) {
+	tr := NewChromeTracer(0)
+	tr.SetProcessName("a\"b\\c\nd")
+	tr.Instant(0, "cat\"", "name\t", 1)
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Errorf("escaped trace invalid JSON: %q", b.String())
+	}
+}
+
+// TestChromeTraceMultiTracerOrder: tracers are written in argument
+// order regardless of pid, which is what makes merged multi-cell traces
+// deterministic when the collector passes them in cell-index order.
+func TestChromeTraceMultiTracerOrder(t *testing.T) {
+	t1 := NewChromeTracer(7)
+	t1.Instant(0, "c", "first", 1)
+	t2 := NewChromeTracer(2)
+	t2.Instant(0, "c", "second", 1)
+	var a, b strings.Builder
+	if err := WriteChromeTrace(&a, t1, t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, t1, t2); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("trace output not deterministic across writes")
+	}
+	if i, j := strings.Index(a.String(), `"first"`), strings.Index(a.String(), `"second"`); i < 0 || j < 0 || i > j {
+		t.Errorf("events not in argument order: first@%d second@%d", i, j)
+	}
+}

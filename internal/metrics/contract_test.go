@@ -1,0 +1,178 @@
+package metrics
+
+// The instrumentation contract of OBSERVABILITY.md, enforced: every
+// metric must exist in three places at once —
+//
+//  1. a named string constant in names.go,
+//  2. a table row in OBSERVABILITY.md (at the repository root),
+//  3. at least one use of the constant in the non-test source tree.
+//
+// This test parses names.go, scans the doc's metric tables, and greps
+// the repository for `metrics.<Const>` references, failing with a
+// precise message for whichever leg is missing. names.go's package
+// comment points here; OBSERVABILITY.md's "How to add a metric" recipe
+// is the fix for any failure.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseNameConstants returns ident -> metric-name for every string
+// constant declared in names.go.
+func parseNameConstants(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "names.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse names.go: %v", err)
+	}
+	consts := make(map[string]string)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquote %s: %v", lit.Value, err)
+				}
+				consts[name.Name] = v
+			}
+		}
+	}
+	if len(consts) == 0 {
+		t.Fatal("no metric-name constants found in names.go")
+	}
+	return consts
+}
+
+// docTableRow matches a metric-table row of OBSERVABILITY.md:
+// "| `metric_name` | kind | ...". Prose mentions of metric names are
+// deliberately not matched — only table rows count as documentation.
+var docTableRow = regexp.MustCompile("^\\| `([a-z][a-z0-9_]*)` \\| (counter|gauge|histogram) \\|")
+
+// docMetricRows returns metric-name -> kind for every table row of
+// OBSERVABILITY.md.
+func docMetricRows(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("read OBSERVABILITY.md: %v", err)
+	}
+	rows := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		m := docTableRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if _, dup := rows[m[1]]; dup {
+			t.Errorf("OBSERVABILITY.md documents %q twice", m[1])
+		}
+		rows[m[1]] = m[2]
+	}
+	if len(rows) == 0 {
+		t.Fatal("no metric table rows found in OBSERVABILITY.md")
+	}
+	return rows
+}
+
+// TestEveryConstantIsDocumented: names.go -> OBSERVABILITY.md.
+func TestEveryConstantIsDocumented(t *testing.T) {
+	consts := parseNameConstants(t)
+	rows := docMetricRows(t)
+	for ident, name := range consts {
+		if _, ok := rows[name]; !ok {
+			t.Errorf("metrics.%s = %q has no table row in OBSERVABILITY.md (add one — see \"How to add a metric\")", ident, name)
+		}
+	}
+}
+
+// TestEveryDocRowHasAConstant: OBSERVABILITY.md -> names.go.
+func TestEveryDocRowHasAConstant(t *testing.T) {
+	consts := parseNameConstants(t)
+	byValue := make(map[string]bool, len(consts))
+	for _, name := range consts {
+		byValue[name] = true
+	}
+	for name := range docMetricRows(t) {
+		if !byValue[name] {
+			t.Errorf("OBSERVABILITY.md documents %q but names.go declares no such constant", name)
+		}
+	}
+}
+
+// TestEveryConstantIsUsed: names.go -> the source tree. A metric that
+// no subsystem ever feeds is dead weight in the contract.
+func TestEveryConstantIsUsed(t *testing.T) {
+	consts := parseNameConstants(t)
+	used := make(map[string]bool, len(consts))
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		src := string(data)
+		for ident := range consts {
+			if used[ident] {
+				continue
+			}
+			if strings.Contains(src, "metrics."+ident) {
+				used[ident] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ident, name := range consts {
+		if !used[ident] {
+			t.Errorf("metrics.%s (%q) is declared and documented but never used outside tests", ident, name)
+		}
+	}
+}
+
+// TestConstantNamesFollowScheme: every declared name passes the
+// ValidateName scheme the registry enforces at runtime.
+func TestConstantNamesFollowScheme(t *testing.T) {
+	for ident, name := range parseNameConstants(t) {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("metrics.%s: %v", ident, err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"hpmmap/internal/mem"
+	"hpmmap/internal/metrics"
 )
 
 // VirtAddr is a canonical 48-bit virtual address.
@@ -119,6 +120,11 @@ type Table struct {
 	UnmapOps    uint64
 	SplitOps    uint64
 	WalkedSlots uint64 // total slots touched by Walk (hardware walk cost proxy)
+
+	// Shared push handles installed by Instrument; nil (no-op) by
+	// default, so uninstrumented walks pay only the nil checks.
+	walks     *metrics.Counter
+	walkDepth *metrics.Histogram
 }
 
 // New returns an empty address space.
@@ -216,10 +222,38 @@ type Mapping struct {
 	Levels int // table levels traversed (hardware walk depth)
 }
 
+// Instrument installs shared push handles incremented by Walk: a walk
+// counter and a walk-depth histogram (levels traversed per walk, the
+// hardware walk-cost signal behind the paper's TLB argument). Handles
+// may be nil (the no-op default) and are typically shared by every
+// table on a node so per-process walks aggregate under one metric.
+func (t *Table) Instrument(walks *metrics.Counter, depth *metrics.Histogram) {
+	t.walks = walks
+	t.walkDepth = depth
+}
+
+// Observe registers the table's accounting with the metrics registry as
+// pull-mode gauges read at snapshot time: table pages and 4KB/large
+// leaf counts. Registering several tables is additive. No-op on a nil
+// registry.
+func (t *Table) Observe(reg *metrics.Registry) {
+	reg.GaugeFunc(metrics.PgtableTablePages, func() float64 { return float64(t.TablePages) })
+	reg.GaugeFunc(metrics.PgtableMappedSmallPages, func() float64 { return float64(t.Mapped4K) })
+	reg.GaugeFunc(metrics.PgtableMappedLargePages, func() float64 { return float64(t.Mapped2M + t.Mapped1G) })
+}
+
 // Walk resolves va. The boolean reports whether a mapping is present.
 // Walk also accumulates the WalkedSlots counter used as a page-walk cost
-// proxy by the TLB-miss model.
+// proxy by the TLB-miss model, and feeds the handles installed by
+// Instrument.
 func (t *Table) Walk(va VirtAddr) (Mapping, bool) {
+	m, ok := t.walk(va)
+	t.walks.Inc()
+	t.walkDepth.Observe(uint64(m.Levels))
+	return m, ok
+}
+
+func (t *Table) walk(va VirtAddr) (Mapping, bool) {
 	n := t.root
 	for level := 0; level < numLevels; level++ {
 		t.WalkedSlots++

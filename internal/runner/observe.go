@@ -1,0 +1,152 @@
+package runner
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"hpmmap/internal/metrics"
+)
+
+// Observations collects per-cell metric registries and Chrome tracers
+// for one plan execution, and folds them into plan-wide artifacts after
+// the run. It exists because cells execute concurrently: each cell gets
+// a private registry and tracer (cells are single-threaded internally,
+// so the per-cell hot paths stay lock-free), and the collector merges
+// them in cell-index order afterwards — so the merged snapshot and trace
+// are byte-identical at any worker count, mirroring the runner's seeding
+// contract.
+//
+// A nil *Observations is a valid no-op collector: Cell returns (nil,
+// nil) handles, which every instrumentation hook treats as "off".
+type Observations struct {
+	mu      sync.Mutex
+	clockHz float64
+	cells   map[int]*cellObs
+}
+
+// cellObs is one cell's collected instrumentation.
+type cellObs struct {
+	reg     *metrics.Registry
+	tracer  *metrics.ChromeTracer
+	snap    metrics.Snapshot
+	hasSnap bool
+}
+
+// NewObservations creates a collector. clockHz converts simulated cycles
+// to trace microseconds (pass the machine's clock; <= 0 keeps the
+// tracer's 1 GHz default).
+func NewObservations(clockHz float64) *Observations {
+	return &Observations{clockHz: clockHz, cells: make(map[int]*cellObs)}
+}
+
+// Cell returns the registry and tracer for the cell at the given plan
+// index, creating them on first use. label names the trace process
+// (typically Cell.String()). Safe for concurrent use by worker
+// goroutines; safe on a nil receiver (returns nil handles, the
+// uninstrumented path).
+func (o *Observations) Cell(idx int, label string) (*metrics.Registry, *metrics.ChromeTracer) {
+	if o == nil {
+		return nil, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.cells[idx]
+	if c == nil {
+		c = &cellObs{reg: metrics.NewRegistry(), tracer: metrics.NewChromeTracer(idx)}
+		if o.clockHz > 0 {
+			c.tracer.SetClock(o.clockHz)
+		}
+		c.tracer.SetProcessName(label)
+		o.cells[idx] = c
+	}
+	return c.reg, c.tracer
+}
+
+// Snap captures and stores the cell's registry snapshot, returning it so
+// the caller can embed it in a cacheable result. Safe on a nil receiver
+// (returns an empty snapshot).
+func (o *Observations) Snap(idx int) metrics.Snapshot {
+	if o == nil {
+		return metrics.Snapshot{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.cells[idx]
+	if c == nil {
+		return metrics.Snapshot{}
+	}
+	c.snap = c.reg.Snapshot()
+	c.hasSnap = true
+	return c.snap
+}
+
+// Record stores a pre-computed snapshot for a cell that did not run
+// (a result-cache hit replaying the metrics it cached). Safe on a nil
+// receiver.
+func (o *Observations) Record(idx int, snap metrics.Snapshot) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.cells[idx]
+	if c == nil {
+		c = &cellObs{}
+		o.cells[idx] = c
+	}
+	c.snap = snap
+	c.hasSnap = true
+}
+
+// indexes returns the collected cell indexes in ascending order. Callers
+// must hold o.mu.
+func (o *Observations) indexes() []int {
+	idxs := make([]int, 0, len(o.cells))
+	for i := range o.cells {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// Merged folds every cell's snapshot into one plan-wide snapshot,
+// merging in ascending cell-index order so the result is independent of
+// worker count and completion order. Cells not yet snapped are snapped
+// now. Safe on a nil receiver (returns an empty snapshot).
+func (o *Observations) Merged() metrics.Snapshot {
+	if o == nil {
+		return metrics.Snapshot{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	snaps := make([]metrics.Snapshot, 0, len(o.cells))
+	for _, i := range o.indexes() {
+		c := o.cells[i]
+		if !c.hasSnap {
+			c.snap = c.reg.Snapshot()
+			c.hasSnap = true
+		}
+		snaps = append(snaps, c.snap)
+	}
+	return metrics.Merge(snaps...)
+}
+
+// WriteTrace writes every cell's trace events as one Chrome trace-event
+// JSON document (cells become trace processes, in ascending cell-index
+// order — deterministic at any worker count). Cells that never created
+// a tracer (cache hits) are skipped. Safe on a nil receiver (writes an
+// empty trace).
+func (o *Observations) WriteTrace(w io.Writer) error {
+	var tracers []*metrics.ChromeTracer
+	if o != nil {
+		o.mu.Lock()
+		for _, i := range o.indexes() {
+			if c := o.cells[i]; c.tracer != nil {
+				tracers = append(tracers, c.tracer)
+			}
+		}
+		o.mu.Unlock()
+	}
+	return metrics.WriteChromeTrace(w, tracers...)
+}

@@ -19,6 +19,10 @@
 //     line buffer) without locking.
 //   - The first cell error cancels the remaining cells and is returned;
 //     worker panics are contained and converted into errors.
+//   - Per-cell results can be memoized on disk (Cache) and instrumented
+//     (Observations hands each cell a private metrics registry and
+//     Chrome tracer, then merges them in cell-index order — see
+//     OBSERVABILITY.md at the repository root).
 package runner
 
 import (

@@ -1,0 +1,15 @@
+package thp
+
+import "hpmmap/internal/metrics"
+
+// Observe registers the daemon's scan/merge tallies with the metrics
+// registry (pull-mode, read at snapshot time) and, when tr is non-nil,
+// arranges for each completed merge to emit a Chrome trace duration
+// event on the kernel thread covering the mm-lock window. Both arguments
+// are nil-safe; call once after Start.
+func (d *Daemon) Observe(reg *metrics.Registry, tr *metrics.ChromeTracer) {
+	reg.CounterFunc(metrics.THPScansTotal, func() uint64 { return d.Scans })
+	reg.CounterFunc(metrics.THPMergesTotal, func() uint64 { return d.Merges })
+	reg.CounterFunc(metrics.THPFailedMergesTotal, func() uint64 { return d.FailedMerges })
+	d.tracer = tr
+}

@@ -11,6 +11,7 @@ package thp
 
 import (
 	"hpmmap/internal/kernel"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/sim"
 )
 
@@ -33,6 +34,7 @@ type Daemon struct {
 	merger Merger
 	rand   *sim.Rand
 	ticker *sim.Ticker
+	tracer *metrics.ChromeTracer // nil unless Observe attached one
 
 	// Statistics.
 	Scans, Merges, FailedMerges uint64
@@ -80,8 +82,10 @@ func (d *Daemon) scan() {
 		}
 		if d.merger.PerformMerge(p) {
 			d.Merges++
+			d.tracer.Complete(0, "khugepaged", "merge", uint64(now), uint64(dur))
 		} else {
 			d.FailedMerges++
+			d.tracer.Complete(0, "khugepaged", "merge_failed", uint64(now), uint64(dur))
 		}
 	})
 }

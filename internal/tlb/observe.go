@@ -1,0 +1,17 @@
+package tlb
+
+import "hpmmap/internal/metrics"
+
+// Observe registers the TLB's hit/miss/flush statistics with the
+// metrics registry as pull-mode sources read at snapshot time. Multiple
+// TLBs registering against the same registry aggregate additively.
+// No-op on a nil registry; the per-access hot path is untouched (it
+// only increments the array counters it already maintained).
+func (t *TLB) Observe(reg *metrics.Registry) {
+	reg.CounterFunc(metrics.TLBSmallHitsTotal, func() uint64 { return t.small.Hits })
+	reg.CounterFunc(metrics.TLBSmallMissesTotal, func() uint64 { return t.small.Misses })
+	reg.CounterFunc(metrics.TLBLargeHitsTotal, func() uint64 { return t.large.Hits })
+	reg.CounterFunc(metrics.TLBLargeMissesTotal, func() uint64 { return t.large.Misses })
+	reg.CounterFunc(metrics.TLBFlushesTotal, func() uint64 { return t.Flushes })
+	reg.CounterFunc(metrics.TLBPageFlushesTotal, func() uint64 { return t.PageFlushes })
+}

@@ -132,6 +132,12 @@ type TLB struct {
 	cfg   Config
 	small *array // 4KB translations
 	large *array // 2MB/1GB translations
+
+	// Flushes counts whole-TLB invalidations (CR3 writes / remote
+	// shootdown broadcasts); PageFlushes counts single-page
+	// invalidations (invlpg). Exposed through Observe.
+	Flushes     uint64
+	PageFlushes uint64
 }
 
 // New builds a TLB from the config.
@@ -170,6 +176,7 @@ func (t *TLB) Access(va uint64, ps pgtable.PageSize) bool {
 // FlushPage invalidates the translation covering va at the given size
 // (invlpg).
 func (t *TLB) FlushPage(va uint64, ps pgtable.PageSize) {
+	t.PageFlushes++
 	if ps == pgtable.Page4K {
 		t.small.flushPage(va)
 		return
@@ -180,6 +187,7 @@ func (t *TLB) FlushPage(va uint64, ps pgtable.PageSize) {
 // Flush empties the whole TLB (CR3 write / context switch without PCID —
 // the common case on the paper's kernels).
 func (t *TLB) Flush() {
+	t.Flushes++
 	t.small.flush()
 	t.large.flush()
 }

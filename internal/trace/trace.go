@@ -25,8 +25,25 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Record appends one fault.
 func (r *Recorder) Record(rec fault.Record) { r.records = append(r.records, rec) }
 
-// Records returns the captured records (shared slice; do not mutate).
-func (r *Recorder) Records() []fault.Record { return r.records }
+// Records returns a copy of the captured records, in completion order.
+// Callers may sort, filter or mutate the returned slice freely without
+// corrupting the recorder. (It used to return the internal slice, which
+// let a caller's append or in-place sort silently alter subsequent
+// Summarize/Scatter output.) For read-only scans without the copy, use
+// Each.
+func (r *Recorder) Records() []fault.Record {
+	out := make([]fault.Record, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// Each calls fn for every captured record in completion order, without
+// copying. fn must not call Record or Reset on the same recorder.
+func (r *Recorder) Each(fn func(fault.Record)) {
+	for _, rec := range r.records {
+		fn(rec)
+	}
+}
 
 // Len returns the number of captured faults.
 func (r *Recorder) Len() int { return len(r.records) }

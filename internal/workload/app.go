@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hpmmap/internal/kernel"
+	"hpmmap/internal/metrics"
 	"hpmmap/internal/pgtable"
 	"hpmmap/internal/sim"
 	"hpmmap/internal/trace"
@@ -33,6 +34,15 @@ type Options struct {
 	CommDelay func(iter, rank int) sim.Cycles
 	// Recorder, when non-nil, captures rank 0's faults.
 	Recorder *trace.Recorder
+	// Metrics, when non-nil, receives BSP barrier statistics
+	// (bsp_barriers_total once per completed barrier, and
+	// bsp_barrier_wait_cycles: each rank's wait from arrival to release).
+	// Nil leaves the barrier path uninstrumented.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives one Chrome duration event per rank
+	// per iteration (thread id = the rank's PID) and names the rank
+	// threads. Nil disables tracing.
+	Tracer *metrics.ChromeTracer
 }
 
 // RankResult reports one rank's execution.
@@ -59,6 +69,11 @@ type App struct {
 	barrierCount int
 	barrierGen   int
 	waiting      []func()
+	waitingAt    []sim.Cycles // arrival time of each waiter, for barrier wait metrics
+
+	// Metric push handles; nil when Options.Metrics is nil.
+	barriers    *metrics.Counter
+	barrierWait *metrics.Histogram
 
 	done   int
 	result Result
@@ -84,6 +99,7 @@ type rankState struct {
 
 	setupStep int
 	iter      int
+	iterStart sim.Cycles // engine time the current iteration began (tracing)
 
 	stall sim.Cycles // accumulated fault/syscall time for the next segment
 }
@@ -103,6 +119,8 @@ func Start(eng *sim.Engine, opts Options, onDone func(Result)) (*App, error) {
 		opts.Spec.SetupSteps = 1
 	}
 	a := &App{opts: opts, eng: eng, onDone: onDone, start: eng.Now()}
+	a.barriers = opts.Metrics.Counter(metrics.BSPBarriersTotal)
+	a.barrierWait = opts.Metrics.Histogram(metrics.BSPBarrierWaitCycles)
 	for i, pl := range opts.Ranks {
 		r := &rankState{app: a, idx: i, node: pl.Node}
 		p, err := pl.Launch(fmt.Sprintf("%s.%d", opts.Spec.Name, i), pl.Node.ZoneOfCore(pl.Core))
@@ -114,6 +132,7 @@ func Start(eng *sim.Engine, opts Options, onDone func(Result)) (*App, error) {
 			p.Recorder = opts.Recorder
 		}
 		r.t = pl.Node.NewTask(p, pl.Core, opts.Spec.BandwidthWeight)
+		opts.Tracer.SetThreadName(p.PID, fmt.Sprintf("rank%d", i))
 		a.ranks = append(a.ranks, r)
 		a.result.Ranks = append(a.result.Ranks, RankResult{})
 	}
@@ -148,12 +167,23 @@ func (a *App) finish() {
 // barrier blocks the rank until all ranks arrive, then releases everyone.
 func (a *App) barrier(fn func()) {
 	a.waiting = append(a.waiting, fn)
+	a.waitingAt = append(a.waitingAt, a.eng.Now())
 	a.barrierCount++
 	if a.barrierCount < len(a.ranks)-a.done {
 		return
 	}
 	ws := a.waiting
+	if a.barrierWait != nil {
+		// The last arrival releases the barrier: each waiter's wait is
+		// the gap between its arrival and now.
+		now := a.eng.Now()
+		for _, at := range a.waitingAt {
+			a.barrierWait.Observe(uint64(now - at))
+		}
+		a.barriers.Inc()
+	}
 	a.waiting = nil
+	a.waitingAt = a.waitingAt[:0]
 	a.barrierCount = 0
 	a.barrierGen++
 	for _, w := range ws {
@@ -316,6 +346,7 @@ func (r *rankState) iterate() {
 		return
 	}
 	r.iter++
+	r.iterStart = r.app.eng.Now()
 
 	// Work-buffer churn: drop last iteration's buffer, map and touch a
 	// fresh one — the ongoing allocation activity of Figures 4 and 5.
@@ -385,16 +416,32 @@ func (r *rankState) iterate() {
 	var step func(left int, carry sim.Cycles)
 	step = func(left int, carry sim.Cycles) {
 		if left == 0 {
+			end := func() {
+				r.traceIter()
+				r.app.barrier(func() { r.iterate() })
+			}
 			if d := r.commDelay(); d > 0 {
-				r.node.Sleep(r.t, d, func() { r.app.barrier(func() { r.iterate() }) })
+				r.node.Sleep(r.t, d, end)
 				return
 			}
-			r.app.barrier(func() { r.iterate() })
+			end()
 			return
 		}
 		r.node.Run(r.t, cpu/chunks, carry, func(sim.Cycles) { step(left-1, 0) })
 	}
 	step(chunks, stall)
+}
+
+// traceIter emits the just-finished iteration (compute + communication,
+// up to the barrier arrival) as a Chrome duration event on the rank's
+// thread. No-op without a tracer.
+func (r *rankState) traceIter() {
+	tr := r.app.opts.Tracer
+	if tr == nil {
+		return
+	}
+	now := r.app.eng.Now()
+	tr.Complete(r.p.PID, "app", "iter", uint64(r.iterStart), uint64(now-r.iterStart))
 }
 
 func (r *rankState) commDelay() sim.Cycles {
