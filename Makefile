@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet bench
+.PHONY: verify build test race vet bench chaos
 
 verify: build test race vet
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 30m ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race -timeout 30m ./internal/runner/... ./internal/experiments/... ./internal/chaos/... ./internal/invariant/...
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +27,8 @@ vet:
 # 0 B/op on BenchmarkUninstrumentedFault).
 bench:
 	$(GO) test -bench 'Fault' -benchmem ./internal/metrics/
+
+# Quick contention-storm study (see DESIGN.md §8): chaos intensity x
+# manager with the invariant auditor attached, small scale for speed.
+chaos:
+	$(GO) run ./cmd/hpmmap-bench -study chaos -scale 0.25 -runs 2 -audit -v

@@ -10,6 +10,20 @@
 //	hpmmap-bench -exp fig8            # 8-node scaling study (Fig. 8)
 //	hpmmap-bench -exp all             # everything
 //
+// Robustness studies run instead of -exp:
+//
+//	hpmmap-bench -study chaos                      # contention-storm sweep
+//	hpmmap-bench -study chaos -audit               # + invariant auditor per cell
+//	hpmmap-bench -study chaos -chaos-poison 3      # quarantine drill: poison cell 3
+//
+// The chaos study sweeps deterministic fault-injection intensity
+// (-intensities) against every memory manager and runs with the
+// runner's degradation machinery: failed cells become annotated holes
+// (-fail-fast reverts to abort-on-first-error), -cell-timeout bounds a
+// cell's wall clock and -retries re-runs host-transient failures. A
+// SIGINT/SIGTERM cancels the grid, flushes partial -metrics/-trace-out
+// artifacts and exits non-zero.
+//
 // Every experiment executes through the internal/runner worker pool:
 // -workers bounds the pool (0 = one worker per CPU) and results are
 // byte-identical at any worker count, -timeout cancels a stuck run, and
@@ -38,9 +52,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hpmmap/internal/experiments"
@@ -66,10 +82,22 @@ func main() {
 
 		metricsOut = flag.String("metrics", "", `write the experiment's merged metric snapshot to this file ("-" = stdout; .json = JSON, else text); supported by fig2-fig5, fig7, fig8`)
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the experiment's cells")
+
+		studyFlag   = flag.String("study", "", "robustness study (runs instead of -exp): chaos = contention-storm sweep of chaos intensity x manager")
+		audit       = flag.Bool("audit", false, "chaos study: attach the invariant auditor to every cell's node (schedules extra events, so it changes sim_events_total)")
+		intensities = flag.String("intensities", "", "chaos study: comma-separated chaos intensities in [0,1] (default 0,0.25,0.5,0.75,1)")
+		chaosPoison = flag.Int("chaos-poison", -1, "chaos study: inject a deliberate invariant violation into this plan cell (>= 1) to drill the quarantine path; -1 = off")
+		cellTimeout = flag.Duration("cell-timeout", 0, "chaos study: per-cell wall-clock budget (0 = none)")
+		retries     = flag.Int("retries", 0, "chaos study: retries for host-transient cell failures (cache I/O)")
+		failFast    = flag.Bool("fail-fast", false, "chaos study: abort on the first cell failure instead of quarantining it as an annotated hole")
 	)
 	flag.Parse()
 
-	ctx := context.Background()
+	// A SIGINT/SIGTERM cancels the runner's context: in-flight cells
+	// observe the cancellation, partial -metrics/-trace-out artifacts
+	// are flushed, and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -90,7 +118,7 @@ func main() {
 	if *traceOut != "" && cache != nil {
 		fmt.Fprintln(os.Stderr, "hpmmap-bench: note: cells served from -cache-dir replay cached metrics but contribute no trace events")
 	}
-	multi := *exp == "all"
+	multi := *exp == "all" && *studyFlag == ""
 	// newObs creates one collector per experiment so cell indexes (and
 	// trace pids) never collide across experiments.
 	newObs := func() *runner.Observations {
@@ -138,6 +166,27 @@ func main() {
 	}
 
 	sc := experiments.Scale(*scale)
+
+	if *studyFlag != "" {
+		if *studyFlag != "chaos" {
+			fmt.Fprintf(os.Stderr, "hpmmap-bench: unknown -study %q (supported: chaos)\n", *studyFlag)
+			os.Exit(2)
+		}
+		if err := runChaosStudy(chaosStudyArgs{
+			ctx: ctx, obs: newObs(), cache: cache, progress: progress,
+			seed: *seed, scale: sc, runs: *runs, workers: *workers,
+			benches: splitList(*benches), cores: splitList(*cores),
+			intensities: splitList(*intensities),
+			audit:       *audit, poison: *chaosPoison,
+			cellTimeout: *cellTimeout, retries: *retries, failFast: *failFast,
+			outDir: *outDir, writeArtifacts: writeArtifacts,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	study := func() experiments.FaultStudyOptions {
 		return experiments.FaultStudyOptions{
 			Seed: *seed, Scale: sc,
@@ -150,6 +199,7 @@ func main() {
 		o.Obs = obs
 		fs, err := experiments.Fig2(o)
 		if err != nil {
+			writeArtifacts("fig2", obs) // best-effort partial flush
 			return err
 		}
 		experiments.WriteFaultStudy(os.Stdout, fs)
@@ -160,6 +210,7 @@ func main() {
 		o.Obs = obs
 		fs, err := experiments.Fig3(o)
 		if err != nil {
+			writeArtifacts("fig3", obs) // best-effort partial flush
 			return err
 		}
 		experiments.WriteFaultStudy(os.Stdout, fs)
@@ -170,6 +221,7 @@ func main() {
 		o.Obs = obs
 		tls, err := experiments.Fig4(o)
 		if err != nil {
+			writeArtifacts("fig4", obs) // best-effort partial flush
 			return err
 		}
 		experiments.WriteTimelines(os.Stdout, "Figure 4: THP fault timeline, miniMD", tls, *plotW, *plotH)
@@ -180,6 +232,7 @@ func main() {
 		o.Obs = obs
 		tls, err := experiments.Fig5(o)
 		if err != nil {
+			writeArtifacts("fig5", obs) // best-effort partial flush
 			return err
 		}
 		experiments.WriteTimelines(os.Stdout, "Figure 5: HugeTLBfs fault timelines", tls, *plotW, *plotH)
@@ -217,6 +270,7 @@ func main() {
 		}
 		panels, err := experiments.Fig7(opts)
 		if err != nil {
+			writeArtifacts("fig7", obs) // best-effort partial flush
 			return err
 		}
 		experiments.WriteFig7(os.Stdout, panels)
@@ -260,6 +314,7 @@ func main() {
 			Obs:      obs,
 		})
 		if err != nil {
+			writeArtifacts("fig8", obs) // best-effort partial flush
 			return err
 		}
 		experiments.WriteFig8(os.Stdout, panels)
@@ -277,6 +332,93 @@ func main() {
 		}
 		return writeArtifacts("fig8", obs)
 	})
+}
+
+// chaosStudyArgs carries the flag surface into runChaosStudy.
+type chaosStudyArgs struct {
+	ctx            context.Context
+	obs            *runner.Observations
+	cache          *runner.Cache
+	progress       func(string)
+	seed           uint64
+	scale          experiments.Scale
+	runs, workers  int
+	benches, cores []string
+	intensities    []string
+	audit          bool
+	poison         int
+	cellTimeout    time.Duration
+	retries        int
+	failFast       bool
+	outDir         string
+	writeArtifacts func(name string, obs *runner.Observations) error
+}
+
+// runChaosStudy drives the contention-storm study (-study chaos):
+// chaos intensity x manager, with the runner's degradation machinery
+// (quarantined holes, retries, per-cell timeouts) and optionally the
+// invariant auditor. Artifacts are flushed even when cells were
+// quarantined or the run was interrupted, and a study with quarantined
+// cells exits non-zero after rendering the partial figure.
+func runChaosStudy(a chaosStudyArgs) error {
+	o := experiments.ChaosStudyOptions{
+		Seed: a.seed, Scale: a.scale, Runs: a.runs,
+		Workers: a.workers, Context: a.ctx, Progress: a.progress,
+		Cache: a.cache, Obs: a.obs,
+		Audit: a.audit, PoisonCell: a.poison,
+		CellTimeout: a.cellTimeout, Retries: a.retries,
+		DisableContinueOnError: a.failFast,
+	}
+	if len(a.benches) > 0 {
+		o.Bench = a.benches[0]
+	}
+	if len(a.cores) > 0 {
+		v, err := strconv.Atoi(a.cores[0])
+		if err != nil {
+			return fmt.Errorf("bad -cores entry %q", a.cores[0])
+		}
+		o.Cores = v
+	}
+	for _, s := range a.intensities {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 || v > 1 {
+			return fmt.Errorf("bad -intensities entry %q (want a number in [0,1])", s)
+		}
+		o.Intensities = append(o.Intensities, v)
+	}
+	s, err := experiments.ChaosStudyRun(o)
+	if err != nil {
+		// Flush whatever the completed cells observed before failing.
+		if aerr := a.writeArtifacts("chaos", a.obs); aerr != nil {
+			fmt.Fprintf(os.Stderr, "chaos: flushing partial artifacts: %v\n", aerr)
+		}
+		return err
+	}
+	experiments.WriteChaosStudy(os.Stdout, s)
+	if a.outDir != "" {
+		lines := []string{"bench,manager,intensity,mean_sec,stdev_sec,runs,failed,degradation_pct"}
+		for _, series := range s.Series {
+			for _, pt := range series.Points {
+				lines = append(lines, fmt.Sprintf("%s,%s,%.2f,%.3f,%.3f,%d,%d,%.1f",
+					s.Bench, series.Kind, pt.Intensity, pt.MeanSec, pt.StdevSec,
+					len(pt.Runs), pt.Failed, pt.DegradationPct))
+			}
+		}
+		if err := os.MkdirAll(a.outDir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(a.outDir, "chaos.csv"),
+			[]byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	if err := a.writeArtifacts("chaos", a.obs); err != nil {
+		return err
+	}
+	if n := len(s.Failures); n > 0 {
+		return fmt.Errorf("%d cell(s) quarantined; the figure above has annotated holes", n)
+	}
+	return nil
 }
 
 // artifactPath splices the experiment name into path when several

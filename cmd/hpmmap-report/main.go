@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"hpmmap/internal/experiments"
@@ -55,7 +57,10 @@ func main() {
 	}
 	sc := experiments.Scale(*scale)
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancels the sweeps; completed sections still flush
+	// their partial -metrics artifact before the process exits non-zero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -103,6 +108,41 @@ func main() {
 		}
 	}
 
+	// writeMergedMetrics flushes whatever sections completed so far; on a
+	// cancelled or failed run the partial artifact is still written.
+	writeMergedMetrics := func() error {
+		if *metricsOut == "" || len(obsSnaps) == 0 {
+			return nil
+		}
+		merged := metrics.Merge(obsSnaps...)
+		write := merged.WriteText
+		if strings.HasSuffix(*metricsOut, ".json") {
+			write = merged.WriteJSON
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	// fail aborts the report but flushes partial observability artifacts
+	// first (the interruption satellite: ^C mid-report keeps the metrics
+	// of every section that finished).
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		if ferr := writeMergedMetrics(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "hpmmap-report: flushing partial metrics: %v\n", ferr)
+		}
+		os.Exit(1)
+	}
+
 	study := experiments.FaultStudyOptions{
 		Seed: *seed, Scale: sc,
 		Workers: *workers, Context: ctx, Progress: progress,
@@ -113,7 +153,7 @@ func main() {
 	obs := obsFor("fig2")
 	s2.Obs = obs
 	fs, err := experiments.Fig2(s2)
-	must(err)
+	fail(err)
 	faultTable(fs, paperFig2)
 	collect("fig2", obs)
 
@@ -122,7 +162,7 @@ func main() {
 	obs = obsFor("fig3")
 	s3.Obs = obs
 	fs, err = experiments.Fig3(s3)
-	must(err)
+	fail(err)
 	faultTable(fs, paperFig3)
 	collect("fig3", obs)
 
@@ -134,7 +174,7 @@ func main() {
 			Workers: *workers, Context: ctx, Cache: cache, Progress: progress,
 			Obs: obs,
 		})
-		must(err)
+		fail(err)
 		experiments.WriteFig7(os.Stdout, panels)
 		collect("fig7", obs)
 	}
@@ -146,7 +186,7 @@ func main() {
 			Workers: *workers, Context: ctx, Cache: cache, Progress: progress,
 			Obs: obs,
 		})
-		must(err)
+		fail(err)
 		experiments.WriteFig8(os.Stdout, panels)
 		collect("fig8", obs)
 	}
@@ -156,22 +196,12 @@ func main() {
 		Seed: *seed, Scale: sc,
 		Workers: *workers, Context: ctx, Progress: progress,
 	})
-	must(err)
+	fail(err)
 	fmt.Println("```")
 	fmt.Print(experiments.WriteNoiseStudy(points))
 	fmt.Println("```")
 
-	if *metricsOut != "" {
-		merged := metrics.Merge(obsSnaps...)
-		write := merged.WriteText
-		if strings.HasSuffix(*metricsOut, ".json") {
-			write = merged.WriteJSON
-		}
-		f, err := os.Create(*metricsOut)
-		must(err)
-		must(write(f))
-		must(f.Close())
-	}
+	must(writeMergedMetrics())
 }
 
 func faultTable(fs experiments.FaultStudy, paper map[string][2][3]float64) {

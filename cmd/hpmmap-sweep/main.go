@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/runner"
@@ -71,7 +73,11 @@ func main() {
 	}
 	prof := experiments.Profile(*profile)
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancels the running plan: in-flight cells observe
+	// the cancellation and the sweep exits non-zero. Knob tables printed
+	// before the signal have already been flushed to stdout.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -8,6 +8,8 @@ package buddy
 import (
 	"fmt"
 	"math/bits"
+
+	"hpmmap/internal/invariant"
 )
 
 // Allocator manages one or more physically contiguous regions with a
@@ -100,7 +102,10 @@ func (a *Allocator) AddRegion(base, size uint64) error {
 
 func (r *region) push(order int, off uint64) {
 	if _, dup := r.free[order][off]; dup {
-		panic("buddy: double push")
+		// Simulated-state violation: a block entered the free pool twice
+		// (double free in the HPMMAP path).
+		invariant.Failf("pool_double_push", "buddy",
+			"offset %#x order %d pushed onto the free pool it is already on", off, order)
 	}
 	r.free[order][off] = struct{}{}
 	r.stack[order] = append(r.stack[order], off)
@@ -187,15 +192,23 @@ func (a *Allocator) Alloc(size uint64) (uint64, uint64, error) {
 func (a *Allocator) Free(addr, size uint64) {
 	r := a.regionOf(addr)
 	if r == nil {
-		panic(fmt.Sprintf("buddy: Free(%#x) outside all regions", addr))
+		// Simulated-state violations, all three: the address/size pair
+		// being freed cannot be a block this allocator handed out —
+		// HPMMAP's bookkeeping diverged from the pool.
+		invariant.Failf("free_outside_regions", "buddy",
+			"Free(%#x, %#x): address belongs to no managed region", addr, size)
 	}
 	order := a.orderFor(size)
 	if a.MinBlock()<<uint(order) != size {
-		panic(fmt.Sprintf("buddy: Free size %#x is not a block size", size))
+		invariant.Failf("free_bad_size", "buddy",
+			"Free(%#x, %#x): size is not a power-of-two block size (min block %#x)",
+			addr, size, a.MinBlock())
 	}
 	off := addr - r.base
 	if off%size != 0 {
-		panic(fmt.Sprintf("buddy: Free(%#x) misaligned for size %#x", addr, size))
+		invariant.Failf("free_misaligned", "buddy",
+			"Free(%#x) misaligned for size %#x within region [%#x,+%#x)",
+			addr, size, r.base, r.size)
 	}
 	a.Frees++
 	a.free += size

@@ -1,0 +1,514 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// simulation: it schedules adversarial events on the sim engine that
+// recreate the hostile conditions of a time-shared commodity node —
+// memory-pressure spikes, buddy-allocator contiguity theft, swap-device
+// exhaustion, page-cache flash fills, TLB-flush/mm-lock storms, and
+// straggling peers in the BSP exchange.
+//
+// Chaos exists to answer the robustness question behind the paper's
+// Figures 3, 5 and 7: Linux-based large-page managers (THP, HugeTLBfs)
+// degrade when the surrounding system misbehaves, while HPMMAP's
+// isolated path does not. The injector drives that misbehavior
+// reproducibly.
+//
+// Determinism contract: every injector draws from a chaos-dedicated
+// SplitMix64 stream derived from the cell seed with a chaos tag — never
+// from the workload PRNG — so enabling chaos perturbs the simulated
+// machine but not the workload's own random choices, and a given
+// (seed, Config) produces a byte-identical event schedule at any runner
+// worker count. Each event family owns a Split substream carved in a
+// fixed order, so disabling one family never shifts another's draws.
+package chaos
+
+import (
+	"fmt"
+
+	"hpmmap/internal/invariant"
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/mem"
+	"hpmmap/internal/metrics"
+	"hpmmap/internal/pgtable"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/vma"
+)
+
+// Config selects which adversarial event families run and how hard.
+type Config struct {
+	// Intensity in [0,1] scales both event frequency and magnitude.
+	// 0 disables injection entirely (Attach becomes a no-op).
+	Intensity float64
+
+	// Per-family enables. DefaultConfig turns them all on.
+	PressureSpikes bool // burst commodity allocations (anon hogs)
+	BuddyBursts    bool // high-order block theft from the buddy allocator
+	SwapFills      bool // swap-device slot exhaustion
+	PagecacheFills bool // flash-fill of the page cache (file I/O burst)
+	TLBStorms      bool // mm-lock / TLB-shootdown storms on Linux-managed mms
+	Stragglers     bool // delayed/dead peers in the BSP exchange
+
+	// MeanPeriod is the mean inter-arrival of each event family at
+	// Intensity 1, in cycles. Lower intensity stretches the gaps
+	// proportionally. Zero selects DefaultMeanPeriod.
+	MeanPeriod sim.Cycles
+
+	// InjectViolation is a testing hook: the injector deliberately
+	// raises one structured invariant violation partway into the run,
+	// exercising the runner's containment and ContinueOnError paths
+	// end to end. Never enabled by the study presets.
+	InjectViolation bool
+}
+
+// DefaultMeanPeriod is roughly a quarter second of the 2.2GHz testbed
+// per event family at full intensity — several events per benchmark
+// iteration, matching the sustained churn of the paper's parallel
+// kernel-build antagonist.
+const DefaultMeanPeriod sim.Cycles = 550_000_000
+
+// DefaultConfig returns a Config with every event family enabled at
+// the given intensity.
+func DefaultConfig(intensity float64) Config {
+	return Config{
+		Intensity:      intensity,
+		PressureSpikes: true,
+		BuddyBursts:    true,
+		SwapFills:      true,
+		PagecacheFills: true,
+		TLBStorms:      true,
+		Stragglers:     true,
+	}
+}
+
+// chaosTag separates the chaos stream from every workload stream
+// derived from the same cell seed ("CHAOS\n" | stream version 1).
+const chaosTag = 0x4348414f530a0001
+
+// DeriveSeed maps a cell seed onto the chaos-dedicated stream seed via
+// the SplitMix64 finalizer, mirroring the runner's coordinate chain but
+// under a distinct tag: the injector never shares a stream with the
+// workload PRNG, so chaos on/off cannot alias workload randomness.
+func DeriveSeed(cellSeed uint64) uint64 {
+	state := cellSeed ^ chaosTag
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// heldBlock is a buddy block the injector is sitting on.
+type heldBlock struct {
+	zone  *mem.Zone
+	pfn   mem.PFN
+	order int
+	freed bool
+}
+
+// heldSwap is an outstanding swap reservation.
+type heldSwap struct {
+	pages    uint64
+	released bool
+}
+
+// spikeProc is a live chaos hog process.
+type spikeProc struct {
+	p    *kernel.Process
+	done bool
+}
+
+// Injector schedules chaos events on one node's engine.
+type Injector struct {
+	cfg  Config
+	seed uint64
+	rnd  *sim.Rand
+
+	node *kernel.Node
+	eng  *sim.Engine
+
+	// Per-family substreams, carved in a fixed order at New so the
+	// enable set never shifts streams between families.
+	spikeRand, buddyRand, swapRand, pcRand, tlbRand, stragglerRand *sim.Rand
+
+	stopped bool
+
+	// Outstanding resources, released on their scheduled events or all
+	// at once by Stop (in insertion order, for determinism).
+	blocks []*heldBlock
+	swaps  []*heldSwap
+	procs  []*spikeProc
+
+	// Statistics (always counted; mirrored to metrics when observed).
+	Events uint64
+
+	m struct {
+		events     *metrics.Counter
+		spikes     *metrics.Counter
+		spikeBytes *metrics.Counter
+		bursts     *metrics.Counter
+		burstPages *metrics.Counter
+		pcFills    *metrics.Counter
+		pcBytes    *metrics.Counter
+		swapFills  *metrics.Counter
+		swapPages  *metrics.Counter
+		tlbStorms  *metrics.Counter
+		tlbStalls  *metrics.Counter
+		stragglers *metrics.Counter
+		strCycles  *metrics.Histogram
+	}
+}
+
+// New creates an injector drawing from the chaos stream derived from
+// cellSeed. Call Observe (optional) and then Attach.
+func New(cfg Config, cellSeed uint64) *Injector {
+	if cfg.MeanPeriod <= 0 {
+		cfg.MeanPeriod = DefaultMeanPeriod
+	}
+	if cfg.Intensity < 0 {
+		cfg.Intensity = 0
+	}
+	if cfg.Intensity > 1 {
+		cfg.Intensity = 1
+	}
+	i := &Injector{cfg: cfg, seed: DeriveSeed(cellSeed)}
+	i.rnd = sim.NewRand(i.seed)
+	// Fixed split order — see the determinism contract above.
+	i.spikeRand = i.rnd.Split()
+	i.buddyRand = i.rnd.Split()
+	i.swapRand = i.rnd.Split()
+	i.pcRand = i.rnd.Split()
+	i.tlbRand = i.rnd.Split()
+	i.stragglerRand = i.rnd.Split()
+	return i
+}
+
+// Observe registers the injector's metric handles. Nil-safe; call
+// before Attach so the first events are counted.
+func (i *Injector) Observe(reg *metrics.Registry) {
+	if i == nil {
+		return
+	}
+	i.m.events = reg.Counter(metrics.ChaosEventsTotal)
+	i.m.spikes = reg.Counter(metrics.ChaosPressureSpikesTotal)
+	i.m.spikeBytes = reg.Counter(metrics.ChaosPressureSpikeBytesTotal)
+	i.m.bursts = reg.Counter(metrics.ChaosBuddyBurstsTotal)
+	i.m.burstPages = reg.Counter(metrics.ChaosBuddyBurstPagesTotal)
+	i.m.pcFills = reg.Counter(metrics.ChaosPagecacheFillsTotal)
+	i.m.pcBytes = reg.Counter(metrics.ChaosPagecacheFillBytesTotal)
+	i.m.swapFills = reg.Counter(metrics.ChaosSwapFillsTotal)
+	i.m.swapPages = reg.Counter(metrics.ChaosSwapReservedPagesTotal)
+	i.m.tlbStorms = reg.Counter(metrics.ChaosTLBStormsTotal)
+	i.m.tlbStalls = reg.Counter(metrics.ChaosTLBStormStallsTotal)
+	i.m.stragglers = reg.Counter(metrics.ChaosStragglersTotal)
+	i.m.strCycles = reg.Histogram(metrics.ChaosStragglerCycles)
+}
+
+// Attach starts the event loops on the node's engine. A zero-intensity
+// injector attaches nothing. Attach may be called once.
+func (i *Injector) Attach(node *kernel.Node) {
+	if i == nil || node == nil || i.cfg.Intensity <= 0 && !i.cfg.InjectViolation {
+		return
+	}
+	if i.node != nil {
+		panic("chaos: Injector.Attach called twice — build one injector per node")
+	}
+	i.node = node
+	i.eng = node.Engine()
+	if i.cfg.Intensity > 0 {
+		if i.cfg.PressureSpikes {
+			i.loop(i.spikeRand, i.pressureSpike)
+		}
+		if i.cfg.BuddyBursts {
+			i.loop(i.buddyRand, i.buddyBurst)
+		}
+		if i.cfg.SwapFills {
+			i.loop(i.swapRand, i.swapFill)
+		}
+		if i.cfg.PagecacheFills {
+			i.loop(i.pcRand, i.pagecacheFill)
+		}
+		if i.cfg.TLBStorms {
+			i.loop(i.tlbRand, i.tlbStorm)
+		}
+	}
+	if i.cfg.InjectViolation {
+		// Fire deterministically partway into the run: after two mean
+		// periods of simulated time.
+		i.eng.Schedule(2*i.cfg.MeanPeriod, func() {
+			if i.stopped {
+				return
+			}
+			invariant.Fail(invariant.Violation{
+				Check:     "chaos_injected",
+				Subsystem: "chaos",
+				Detail:    fmt.Sprintf("deliberate violation injected for containment testing (seed %#x)", i.seed),
+			})
+		})
+	}
+}
+
+// loop schedules a self-rescheduling event chain with exponential
+// inter-arrival times scaled by intensity.
+func (i *Injector) loop(r *sim.Rand, fire func(*sim.Rand)) {
+	var step func()
+	step = func() {
+		if i.stopped {
+			return
+		}
+		i.Events++
+		if i.m.events != nil {
+			i.m.events.Inc()
+		}
+		fire(r)
+		if !i.stopped {
+			i.eng.Schedule(i.interval(r), step)
+		}
+	}
+	i.eng.Schedule(i.interval(r), step)
+}
+
+// interval draws the next inter-arrival gap: Exponential with mean
+// MeanPeriod/Intensity.
+func (i *Injector) interval(r *sim.Rand) sim.Cycles {
+	mean := float64(i.cfg.MeanPeriod) / i.cfg.Intensity
+	d := sim.Cycles(r.Exponential(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// holdCycles draws how long a hoarding event keeps its resources.
+func (i *Injector) holdCycles(r *sim.Rand) sim.Cycles {
+	d := sim.Cycles(r.Exponential(float64(i.cfg.MeanPeriod) * 0.5))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// --- Event families ------------------------------------------------------
+
+// pressureSpike launches a short-lived commodity hog: a process that
+// mmaps and touches a slice of node memory, holds it, and exits. It
+// takes the ordinary commodity path — fault costs, reclaim, and OOM
+// selection all apply (the hog, being the largest-RSS commodity
+// process, is the likely OOM victim — exactly Linux's behavior).
+func (i *Injector) pressureSpike(r *sim.Rand) {
+	node := i.node
+	totalBytes := node.Mem.TotalPages() * mem.PageSize
+	frac := 0.01 + 0.05*i.cfg.Intensity*r.Float64()
+	bytes := uint64(float64(totalBytes) * frac)
+	bytes -= bytes % mem.PageSize
+	if bytes < 4<<20 {
+		bytes = 4 << 20
+	}
+	zone := r.Intn(len(node.Mem.Zones))
+	p, err := node.NewProcess("chaos-hog", true, zone)
+	if err != nil {
+		return
+	}
+	addr, _, err := node.Mmap(p, bytes, pgtable.ProtRead|pgtable.ProtWrite, vma.KindAnon)
+	if err != nil {
+		node.Exit(p)
+		return
+	}
+	// Touch through the owning manager's fault path; an OOM kill mid-touch
+	// surfaces as an error and simply ends the spike early.
+	_, _ = node.TouchRange(p, addr, bytes)
+	if i.m.spikes != nil {
+		i.m.spikes.Inc()
+		i.m.spikeBytes.Add(bytes)
+	}
+	sp := &spikeProc{p: p}
+	i.procs = append(i.procs, sp)
+	i.eng.Schedule(i.holdCycles(r), func() { i.endSpike(sp) })
+}
+
+func (i *Injector) endSpike(sp *spikeProc) {
+	if sp.done {
+		return
+	}
+	sp.done = true
+	i.node.Exit(sp.p) // no-op if the OOM killer got there first
+}
+
+// buddyBurst steals high-order blocks straight from a zone's buddy
+// allocator and sits on them: contiguity vanishes without the commit
+// accounting of a process, starving THP promotion and any other
+// high-order allocation until the blocks come back.
+func (i *Injector) buddyBurst(r *sim.Rand) {
+	node := i.node
+	z := node.Mem.Zones[r.Intn(len(node.Mem.Zones))]
+	maxBlocks := 1 + int(96*i.cfg.Intensity)
+	count := 1 + r.Intn(maxBlocks)
+	var pages uint64
+	var taken []*heldBlock
+	for j := 0; j < count; j++ {
+		order := mem.LargePageOrder
+		if r.Bool(0.25) {
+			order = mem.MaxOrder
+		}
+		pfn, ok := z.AllocPages(order)
+		if !ok {
+			break // the zone is already starved — mission accomplished
+		}
+		hb := &heldBlock{zone: z, pfn: pfn, order: order}
+		taken = append(taken, hb)
+		i.blocks = append(i.blocks, hb)
+		pages += mem.PagesPerOrder(order)
+	}
+	if len(taken) == 0 {
+		return
+	}
+	if i.m.bursts != nil {
+		i.m.bursts.Inc()
+		i.m.burstPages.Add(pages)
+	}
+	i.eng.Schedule(i.holdCycles(r), func() {
+		for _, hb := range taken {
+			i.freeBlock(hb)
+		}
+	})
+}
+
+func (i *Injector) freeBlock(hb *heldBlock) {
+	if hb.freed {
+		return
+	}
+	hb.freed = true
+	hb.zone.FreeBlock(hb.pfn, hb.order)
+}
+
+// swapFill reserves a slice of the swap device's free slots, pushing
+// commodity page-out toward device exhaustion, then releases them.
+func (i *Injector) swapFill(r *sim.Rand) {
+	s := i.node.Swap()
+	frac := 0.25 + 0.70*i.cfg.Intensity*r.Float64()
+	want := uint64(float64(s.FreePages()) * frac)
+	if want == 0 {
+		return
+	}
+	granted := s.Reserve(want)
+	if granted == 0 {
+		return
+	}
+	hs := &heldSwap{pages: granted}
+	i.swaps = append(i.swaps, hs)
+	if i.m.swapFills != nil {
+		i.m.swapFills.Inc()
+		i.m.swapPages.Add(granted)
+	}
+	i.eng.Schedule(i.holdCycles(r), func() { i.releaseSwap(hs) })
+}
+
+func (i *Injector) releaseSwap(hs *heldSwap) {
+	if hs.released {
+		return
+	}
+	hs.released = true
+	i.node.Swap().Release(hs.pages)
+}
+
+// pagecacheFill models a burst of commodity file I/O: the page cache
+// flash-fills toward the watermarks, waking kswapd and forcing direct
+// reclaim into allocation paths. The cache self-recycles, so no cleanup
+// event is needed — the pressure is the point.
+func (i *Injector) pagecacheFill(r *sim.Rand) {
+	node := i.node
+	totalBytes := node.Mem.TotalPages() * mem.PageSize
+	frac := 0.02 + 0.10*i.cfg.Intensity*r.Float64()
+	bytes := uint64(float64(totalBytes) * frac)
+	zone := r.Intn(len(node.Mem.Zones))
+	node.PageCacheAdd(zone, bytes)
+	if i.m.pcFills != nil {
+		i.m.pcFills.Inc()
+		i.m.pcBytes.Add(bytes)
+	}
+}
+
+// tlbStorm models a burst of address-space invalidations (TLB
+// shootdowns / mmap_sem convoys): every live Linux-managed process has
+// its mm lock extended and a stall deposited that its next fault must
+// pay. HPMMAP processes are structurally immune — their fault path
+// never takes Linux's mm lock, the paper's central isolation argument.
+func (i *Injector) tlbStorm(r *sim.Rand) {
+	dur := sim.Cycles(r.Exponential(150_000 * (0.5 + i.cfg.Intensity)))
+	if dur < 1 {
+		dur = 1
+	}
+	now := i.node.Now()
+	var stalls uint64
+	i.node.Processes(func(p *kernel.Process) {
+		if p.Exited {
+			return
+		}
+		if until := now + dur; until > p.MMLockedUntil {
+			p.MMLockedUntil = until
+		}
+		// Deposit the stall; only the linuxmm fault path ever charges
+		// these, so HPMMAP-registered processes shrug the storm off.
+		p.PendingMergeCosts = append(p.PendingMergeCosts, dur)
+		stalls++
+	})
+	if i.m.tlbStorms != nil {
+		i.m.tlbStorms.Inc()
+		i.m.tlbStalls.Add(stalls)
+	}
+}
+
+// WrapCommDelay decorates a BSP communication-delay function with
+// straggler injection: occasionally a peer is late (exponential tail)
+// or effectively dead for a while (a rejoin after node-level recovery,
+// two orders of magnitude longer). Uses the chaos straggler substream;
+// the inner function sees its inputs unchanged.
+func (i *Injector) WrapCommDelay(inner func(iter, rank int) sim.Cycles) func(iter, rank int) sim.Cycles {
+	if i == nil || !i.cfg.Stragglers || i.cfg.Intensity <= 0 {
+		return inner
+	}
+	r := i.stragglerRand
+	return func(iter, rank int) sim.Cycles {
+		var base sim.Cycles
+		if inner != nil {
+			base = inner(iter, rank)
+		}
+		if i.stopped {
+			return base
+		}
+		if !r.Bool(0.03 * i.cfg.Intensity) {
+			return base
+		}
+		extra := sim.Cycles(r.Exponential(float64(i.cfg.MeanPeriod) * 0.25 * i.cfg.Intensity))
+		if r.Bool(0.05) {
+			// Dead node: the peer misses the barrier entirely and only
+			// rejoins after recovery.
+			extra *= 100
+		}
+		if extra < 1 {
+			extra = 1
+		}
+		if i.m.stragglers != nil {
+			i.m.stragglers.Inc()
+			i.m.strCycles.Observe(uint64(extra))
+		}
+		return base + extra
+	}
+}
+
+// Stop halts further injection and releases everything the injector is
+// still holding — buddy blocks, swap slots, live hog processes — in
+// insertion order, so end-of-run accounting audits see a clean machine.
+// Safe to call on a detached or nil injector, and idempotent.
+func (i *Injector) Stop() {
+	if i == nil || i.stopped {
+		return
+	}
+	i.stopped = true
+	for _, hb := range i.blocks {
+		i.freeBlock(hb)
+	}
+	for _, hs := range i.swaps {
+		i.releaseSwap(hs)
+	}
+	for _, sp := range i.procs {
+		i.endSpike(sp)
+	}
+}

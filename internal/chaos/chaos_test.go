@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"testing"
+
+	"hpmmap/internal/invariant"
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/linuxmm"
+	"hpmmap/internal/metrics"
+	"hpmmap/internal/sim"
+)
+
+func newNode(t *testing.T, seed uint64) (*kernel.Node, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	node := kernel.NewNode(kernel.DellR415(), eng, sim.NewRand(seed))
+	node.SetDefaultMM(linuxmm.New(node, linuxmm.ModeTHP, linuxmm.ModeTHP, nil))
+	return node, eng
+}
+
+// run drives the engine for horizon cycles with an attached injector
+// and returns the final machine fingerprint.
+func run(t *testing.T, cfg Config, cellSeed uint64, horizon sim.Cycles) (*Injector, *kernel.Node, string) {
+	t.Helper()
+	node, eng := newNode(t, 7)
+	inj := New(cfg, cellSeed)
+	inj.Attach(node)
+	eng.RunUntil(horizon)
+	inj.Stop()
+	fp := machineFingerprint(node, inj)
+	return inj, node, fp
+}
+
+func machineFingerprint(node *kernel.Node, inj *Injector) string {
+	s := ""
+	s += "free=" + uitoa(node.Mem.FreePages())
+	s += " swap=" + uitoa(node.Swap().UsedPages())
+	s += " events=" + uitoa(inj.Events)
+	s += " pc=" + uitoa(node.PageCachePages(0)+node.PageCachePages(1))
+	return s
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := DefaultConfig(0.75)
+	const horizon = 20 * DefaultMeanPeriod
+	_, _, fp1 := run(t, cfg, 12345, horizon)
+	inj, _, fp2 := run(t, cfg, 12345, horizon)
+	if fp1 != fp2 {
+		t.Fatalf("same seed diverged:\n  %s\n  %s", fp1, fp2)
+	}
+	if inj.Events == 0 {
+		t.Fatal("no chaos events fired over 20 mean periods")
+	}
+	_, _, fp3 := run(t, cfg, 54321, horizon)
+	if fp1 == fp3 {
+		t.Fatalf("different seeds produced identical machine state: %s", fp1)
+	}
+}
+
+func TestDeriveSeedDistinctFromCellSeed(t *testing.T) {
+	for _, cell := range []uint64{0, 1, 42, 1 << 40, ^uint64(0)} {
+		if DeriveSeed(cell) == cell {
+			t.Fatalf("DeriveSeed(%d) is the identity — chaos stream aliases the workload stream", cell)
+		}
+	}
+	if DeriveSeed(1) == DeriveSeed(2) {
+		t.Fatal("adjacent cell seeds collide in the chaos stream")
+	}
+}
+
+func TestZeroIntensityIsNoOp(t *testing.T) {
+	node, eng := newNode(t, 7)
+	before := node.Mem.FreePages()
+	inj := New(DefaultConfig(0), 99)
+	inj.Attach(node)
+	if eng.Pending() != 1 { // only the node's kswapd ticker
+		t.Fatalf("zero-intensity Attach scheduled events: %d pending", eng.Pending())
+	}
+	eng.RunUntil(10 * DefaultMeanPeriod)
+	inj.Stop()
+	if inj.Events != 0 {
+		t.Fatalf("zero-intensity injector fired %d events", inj.Events)
+	}
+	if node.Mem.FreePages() != before {
+		t.Fatal("zero-intensity injector changed machine state")
+	}
+}
+
+func TestStopReleasesEverything(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.TLBStorms = false // nothing held, excluded for clarity
+	node, eng := newNode(t, 7)
+	baseFree := node.Mem.FreePages()
+	inj := New(cfg, 4242)
+	inj.Attach(node)
+	eng.RunUntil(10 * DefaultMeanPeriod)
+	inj.Stop()
+	if got := node.Swap().UsedPages(); got != 0 {
+		t.Fatalf("swap still holds %d pages after Stop", got)
+	}
+	// All hog processes exited and all buddy blocks returned; only the
+	// self-recycling page cache may legitimately retain frames.
+	var cache uint64
+	for z := range node.Mem.Zones {
+		cache += node.PageCachePages(z)
+	}
+	if got := node.Mem.FreePages() + cache; got != baseFree {
+		t.Fatalf("leak after Stop: free+cache=%d, want %d", got, baseFree)
+	}
+	// Idempotent.
+	inj.Stop()
+}
+
+func TestMetricsCounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	node, eng := newNode(t, 7)
+	inj := New(DefaultConfig(1), 2026)
+	inj.Observe(reg)
+	inj.Attach(node)
+	eng.RunUntil(30 * DefaultMeanPeriod)
+	inj.Stop()
+	snap := reg.Snapshot()
+	if got := snap.CounterValue(metrics.ChaosEventsTotal); got != inj.Events {
+		t.Fatalf("chaos_events_total=%d, injector counted %d", got, inj.Events)
+	}
+	if snap.CounterValue(metrics.ChaosEventsTotal) == 0 {
+		t.Fatal("no events counted over 30 mean periods")
+	}
+	sum := snap.CounterValue(metrics.ChaosPressureSpikesTotal) +
+		snap.CounterValue(metrics.ChaosBuddyBurstsTotal) +
+		snap.CounterValue(metrics.ChaosSwapFillsTotal) +
+		snap.CounterValue(metrics.ChaosPagecacheFillsTotal) +
+		snap.CounterValue(metrics.ChaosTLBStormsTotal)
+	if sum == 0 {
+		t.Fatal("per-family counters all zero with every family enabled")
+	}
+}
+
+func TestWrapCommDelayStragglers(t *testing.T) {
+	inj := New(DefaultConfig(1), 11)
+	base := func(iter, rank int) sim.Cycles { return 1000 }
+	wrapped := inj.WrapCommDelay(base)
+	var total, straggled int
+	for iter := 0; iter < 2000; iter++ {
+		d := wrapped(iter, 0)
+		if d < 1000 {
+			t.Fatalf("wrapped delay %d below inner delay", d)
+		}
+		if d > 1000 {
+			straggled++
+		}
+		total++
+	}
+	if straggled == 0 {
+		t.Fatal("no stragglers at intensity 1 over 2000 calls")
+	}
+	if straggled > total/2 {
+		t.Fatalf("%d/%d calls straggled — rate far above the 3%% target", straggled, total)
+	}
+	// Zero intensity returns the inner function untouched.
+	quiet := New(DefaultConfig(0), 11)
+	if got := quiet.WrapCommDelay(base)(0, 0); got != 1000 {
+		t.Fatalf("zero-intensity wrapper altered delay: %d", got)
+	}
+	// Nil inner is permitted.
+	if d := inj.WrapCommDelay(nil)(0, 1); d < 0 {
+		t.Fatal("nil inner produced negative delay")
+	}
+}
+
+func TestInjectViolationPanicsStructured(t *testing.T) {
+	node, eng := newNode(t, 7)
+	cfg := Config{InjectViolation: true} // intensity 0: only the hook fires
+	inj := New(cfg, 77)
+	inj.Attach(node)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("injected violation did not fire")
+		}
+		v, ok := invariant.FromRecovered(r)
+		if !ok {
+			t.Fatalf("panic payload is not a structured violation: %v", r)
+		}
+		if v.Check != "chaos_injected" || v.Subsystem != "chaos" {
+			t.Fatalf("unexpected violation identity: %+v", v)
+		}
+	}()
+	eng.RunUntil(10 * DefaultMeanPeriod)
+}
+
+func TestTLBStormSparesHPMMAPPath(t *testing.T) {
+	// The storm deposits stalls via PendingMergeCosts, which only the
+	// linuxmm fault path charges. Verify the deposit lands on live
+	// processes and that exited ones are skipped.
+	node, eng := newNode(t, 7)
+	p, err := node.NewProcess("victim", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(Config{Intensity: 1, TLBStorms: true, MeanPeriod: 1000}, 5)
+	inj.Attach(node)
+	eng.RunUntil(50_000)
+	inj.Stop()
+	if len(p.PendingMergeCosts) == 0 || p.MMLockedUntil == 0 {
+		t.Fatal("TLB storm deposited no stall on a live process")
+	}
+}

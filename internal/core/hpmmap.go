@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"hpmmap/internal/buddy"
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/mem"
 	"hpmmap/internal/pgtable"
@@ -336,7 +337,14 @@ func (m *Manager) mapAt(p *kernel.Process, ps *procState, at pgtable.VirtAddr, l
 			if m.node.Detail {
 				va := at + pgtable.VirtAddr(off)
 				if err := p.PT.Map(va, mem.PFN(addr/mem.PageSize), pgtable.Page1G, pgtable.ProtRead|pgtable.ProtWrite); err != nil {
-					panic("hpmmap: " + err.Error())
+					// Simulated-state violation: the eager 1GB backing
+					// collided with an existing mapping in a region the
+					// VMA layer just carved out as free.
+					invariant.Fail(invariant.Violation{
+						Check: "pt_map_conflict", Subsystem: "core", PID: p.PID,
+						Manager: "hpmmap",
+						Detail:  fmt.Sprintf("eager 1GB map at %#x failed: %v", uint64(va), err),
+					})
 				}
 			}
 			off += mem.HugePageSize
@@ -356,7 +364,13 @@ func (m *Manager) mapAt(p *kernel.Process, ps *procState, at pgtable.VirtAddr, l
 		if m.node.Detail {
 			va := at + pgtable.VirtAddr(off)
 			if err := p.PT.Map(va, mem.PFN(addr/mem.PageSize), pgtable.Page2M, pgtable.ProtRead|pgtable.ProtWrite); err != nil {
-				panic("hpmmap: " + err.Error())
+				// Simulated-state violation: eager 2MB backing collided
+				// with an existing mapping.
+				invariant.Fail(invariant.Violation{
+					Check: "pt_map_conflict", Subsystem: "core", PID: p.PID,
+					Manager: "hpmmap",
+					Detail:  fmt.Sprintf("eager 2MB map at %#x failed: %v", uint64(va), err),
+				})
 			}
 		}
 	}
@@ -440,7 +454,13 @@ func (m *Manager) Brk(p *kernel.Process, newBrk pgtable.VirtAddr) (pgtable.VirtA
 			if m.node.Detail {
 				va := heapBase + pgtable.VirtAddr(ps.heap.length+i*mem.LargePageSize)
 				if err := p.PT.Map(va, mem.PFN(addr/mem.PageSize), pgtable.Page2M, pgtable.ProtRead|pgtable.ProtWrite); err != nil {
-					panic("hpmmap: " + err.Error())
+					// Simulated-state violation: brk's eager heap
+					// extension collided with an existing mapping.
+					invariant.Fail(invariant.Violation{
+						Check: "pt_map_conflict", Subsystem: "core", PID: p.PID,
+						Manager: "hpmmap",
+						Detail:  fmt.Sprintf("brk heap map at %#x failed: %v", uint64(va), err),
+					})
 				}
 			}
 			ps.heap.blocks = append(ps.heap.blocks, block{addr: addr, zone: zone})

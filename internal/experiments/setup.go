@@ -11,9 +11,11 @@ import (
 	"context"
 	"fmt"
 
+	"hpmmap/internal/chaos"
 	"hpmmap/internal/cluster"
 	"hpmmap/internal/core"
 	"hpmmap/internal/hugetlb"
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/linuxmm"
 	"hpmmap/internal/metrics"
@@ -312,9 +314,22 @@ func scaleSpec(spec workload.AppSpec, sc Scale) workload.AppSpec {
 // ctx is polled every few tens of thousands of events so a cancelled or
 // timed-out run stops mid-simulation rather than at the next cell
 // boundary; nil means no cancellation.
-func runToCompletion(ctx context.Context, eng *sim.Engine, done *bool) error {
+func runToCompletion(ctx context.Context, eng *sim.Engine, done *bool) (err error) {
 	const checkEvery = 1 << 16
 	steps := 0
+	// A simulated-state invariant violation panics out of an engine
+	// event; stamp it with the simulated time of detection before it
+	// unwinds further (the runner's panic containment then converts it
+	// into a structured per-cell error).
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := invariant.FromRecovered(r); ok {
+				invariant.AnnotateTime(v, eng.Now())
+				panic(v)
+			}
+			panic(r)
+		}
+	}()
 	for !*done {
 		if !eng.Step() {
 			return fmt.Errorf("experiments: engine drained before completion")
@@ -353,6 +368,18 @@ type SingleRun struct {
 	// Context, when non-nil, cancels the simulation mid-run (polled
 	// every few tens of thousands of engine events).
 	Context context.Context
+	// Chaos, when non-nil, attaches the deterministic fault injector to
+	// the booted node before the measured application starts, and wires
+	// its straggler wrapper into the workload's communication phase.
+	// The injector must be freshly built per run (chaos.New with the
+	// cell seed); it is stopped — releasing everything it holds — when
+	// the application completes.
+	Chaos *chaos.Injector
+	// Audit, when true, attaches the invariant auditor (zone/swap/VMA/
+	// pgtable/pool consistency checks) at a 1ms simulated cadence. Note
+	// this schedules extra engine events, so sim_events_total changes —
+	// baseline figure runs leave it off.
+	Audit bool
 }
 
 // RunOutcome reports one completed run.
@@ -445,6 +472,16 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 	if extra != nil {
 		stopExtra = extra(rig.node)
 	}
+	if rs.Chaos != nil {
+		rs.Chaos.Observe(rs.Metrics)
+		rs.Chaos.Attach(rig.node)
+	}
+	var auditor *invariant.Auditor
+	if rs.Audit {
+		auditor = newNodeAuditor(rig, rs.Metrics)
+		auditor.Start(rig.eng, auditPeriod(mc.ClockHz))
+		defer auditor.Stop()
+	}
 	// Sample memory pressure through the run for diagnostics.
 	var psum float64
 	var pn int
@@ -459,13 +496,20 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 	}
 	var res workload.Result
 	done := false
-	_, err = workload.Start(rig.eng, workload.Options{
+	wopts := workload.Options{
 		Spec:     spec,
 		Ranks:    placements,
 		Recorder: rs.Recorder,
 		Metrics:  rs.Metrics,
 		Tracer:   rs.Tracer,
-	}, func(got workload.Result) {
+	}
+	if rs.Chaos != nil {
+		// Straggler injection rides the communication phase; single-node
+		// runs have no inner comm-delay model, so the wrapper decorates
+		// a zero base.
+		wopts.CommDelay = rs.Chaos.WrapCommDelay(nil)
+	}
+	_, err = workload.Start(rig.eng, wopts, func(got workload.Result) {
 		res = got
 		for _, b := range builds {
 			b.Stop()
@@ -473,6 +517,9 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 		if stopExtra != nil {
 			stopExtra()
 		}
+		// Chaos releases everything it still holds, so end-of-run audits
+		// and accounting see a clean machine.
+		rs.Chaos.Stop()
 		done = true
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ package hugetlb
 import (
 	"fmt"
 
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/mem"
 )
 
@@ -103,11 +104,18 @@ func (p *Pools) Alloc2M(zone int) (mem.PFN, int, error) {
 // Free2M returns a page to its zone's pool.
 func (p *Pools) Free2M(pfn mem.PFN, zone int) {
 	if zone < 0 || zone >= len(p.zones) {
-		panic("hugetlb: Free2M bad zone")
+		// Simulated-state violation: a page is coming back tagged with a
+		// zone this pool set never had.
+		invariant.Failf("pool_bad_zone", "hugetlb",
+			"Free2M(pfn %d) into zone %d of %d", pfn, zone, len(p.zones))
 	}
 	pl := &p.zones[zone]
 	if len(pl.pages) >= pl.total {
-		panic("hugetlb: pool overflow on free")
+		// Simulated-state violation: more pages returned than the pool was
+		// reserved with — a double free or cross-pool free.
+		invariant.Failf("pool_overflow", "hugetlb",
+			"Free2M(pfn %d): zone %d pool already holds all %d reserved pages",
+			pfn, zone, pl.total)
 	}
 	pl.pages = append(pl.pages, pfn)
 }

@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"testing"
+
+	"hpmmap/internal/invariant"
+)
+
+// mkProc spawns a process with a synthetic resident set, for victim-
+// selection tests.
+func mkProc(t *testing.T, n *Node, name string, commodity bool, rssSmall, rssLarge uint64) *Process {
+	t.Helper()
+	p, err := n.NewProcess(name, commodity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ResidentSmall = rssSmall
+	p.ResidentLarge = rssLarge
+	return p
+}
+
+func TestOOMKillPicksLargestCommodityRSS(t *testing.T) {
+	n, _ := newTestNode(t)
+	small := mkProc(t, n, "make", true, 1<<20, 0)
+	big := mkProc(t, n, "cc1", true, 1<<20, 512<<20) // large pages count too
+	mid := mkProc(t, n, "ld", true, 256<<20, 0)
+	hpc := mkProc(t, n, "hpccg", false, 4<<30, 0) // biggest RSS on the node
+
+	victim := n.OOMKill()
+	if victim != big {
+		t.Fatalf("OOM victim = %v, want the largest-RSS commodity process %v", victim, big)
+	}
+	if n.OOMKills != 1 {
+		t.Fatalf("OOMKills = %d, want 1", n.OOMKills)
+	}
+	if !big.Exited || n.Process(big.PID) != nil {
+		t.Fatal("victim not torn down")
+	}
+	for _, p := range []*Process{small, mid, hpc} {
+		if p.Exited {
+			t.Fatalf("%s killed alongside the victim", p.Name)
+		}
+	}
+	// The next kill moves down the RSS order.
+	if v := n.OOMKill(); v != mid {
+		t.Fatalf("second OOM victim = %v, want %v", v, mid)
+	}
+}
+
+func TestOOMKillNeverChoosesHPC(t *testing.T) {
+	n, _ := newTestNode(t)
+	hpc := mkProc(t, n, "minimd", false, 8<<30, 0)
+	if v := n.OOMKill(); v != nil {
+		t.Fatalf("OOMKill chose %v on a node with only HPC processes", v)
+	}
+	if hpc.Exited {
+		t.Fatal("HPC process was killed")
+	}
+	if n.OOMKills != 0 {
+		t.Fatalf("OOMKills = %d after a no-victim scan", n.OOMKills)
+	}
+}
+
+func TestOOMKillIgnoresExited(t *testing.T) {
+	n, _ := newTestNode(t)
+	gone := mkProc(t, n, "dead", true, 4<<30, 0)
+	n.Exit(gone)
+	live := mkProc(t, n, "alive", true, 1<<20, 0)
+	if v := n.OOMKill(); v != live {
+		t.Fatalf("OOM victim = %v, want the only live commodity process", v)
+	}
+}
+
+func TestOOMKillEmptyNode(t *testing.T) {
+	n, _ := newTestNode(t)
+	if v := n.OOMKill(); v != nil {
+		t.Fatalf("OOMKill on an empty node returned %v", v)
+	}
+}
+
+func TestSwapReserveClampsAtExhaustion(t *testing.T) {
+	s := NewSwapDevice(1 << 20) // 256 slots
+	if s.TotalPages != 256 {
+		t.Fatalf("TotalPages = %d, want 256", s.TotalPages)
+	}
+	if got := s.Reserve(200); got != 200 {
+		t.Fatalf("Reserve(200) granted %d", got)
+	}
+	// Over-ask: only the remaining 56 slots are granted.
+	if got := s.Reserve(100); got != 56 {
+		t.Fatalf("Reserve(100) on a nearly-full device granted %d, want 56", got)
+	}
+	if s.FreePages() != 0 || s.UsedPages() != 256 {
+		t.Fatalf("free=%d used=%d after exhaustion", s.FreePages(), s.UsedPages())
+	}
+	// Exhausted device grants nothing, and the zero grant is not counted
+	// as a swap-out.
+	if got := s.Reserve(1); got != 0 {
+		t.Fatalf("Reserve on an exhausted device granted %d", got)
+	}
+	if s.SwapOuts != 256 {
+		t.Fatalf("SwapOuts = %d, want 256 (granted slots only)", s.SwapOuts)
+	}
+}
+
+func TestSwapReleaseReturnsSlots(t *testing.T) {
+	s := NewSwapDevice(1 << 20)
+	s.Reserve(100)
+	s.Release(40)
+	if s.UsedPages() != 60 || s.FreePages() != 196 {
+		t.Fatalf("used=%d free=%d after partial release", s.UsedPages(), s.FreePages())
+	}
+	// Released slots are reusable.
+	if got := s.Reserve(196); got != 196 {
+		t.Fatalf("Reserve after release granted %d, want 196", got)
+	}
+	s.Release(256)
+	if s.UsedPages() != 0 {
+		t.Fatalf("used=%d after full release", s.UsedPages())
+	}
+}
+
+func TestSwapOverReleaseIsViolation(t *testing.T) {
+	s := NewSwapDevice(1 << 20)
+	s.Reserve(10)
+	defer func() {
+		v, ok := invariant.FromRecovered(recover())
+		if !ok {
+			t.Fatal("over-release did not raise a structured violation")
+		}
+		if v.Check != "swap_accounting" || v.Subsystem != "kernel" {
+			t.Fatalf("wrong violation: %+v", v)
+		}
+	}()
+	s.Release(11)
+}
+
+func TestNodeSwapLazyDefault(t *testing.T) {
+	n, _ := newTestNode(t)
+	s := n.Swap()
+	if s.TotalPages != (8<<30)/4096 {
+		t.Fatalf("default swap = %d pages, want an 8GB partition", s.TotalPages)
+	}
+	if n.Swap() != s {
+		t.Fatal("Swap() not memoized")
+	}
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/sim"
 )
 
@@ -45,7 +46,13 @@ func (n *Node) Place(t *Task) int {
 // arrive adds the task to its core's runqueue.
 func (n *Node) arrive(t *Task) {
 	if t.running {
-		panic("kernel: task already running")
+		// Simulated-state violation: a task entered a runqueue while
+		// already on one — overlapping Run segments for the same task.
+		invariant.Fail(invariant.Violation{
+			Check: "sched_double_arrive", Subsystem: "sched", PID: t.Proc.PID,
+			Detail: fmt.Sprintf("task %d (%s) arrived on core %d while already running",
+				t.ID, t.Proc.Name, t.cur),
+		})
 	}
 	t.running = true
 	c := &n.cores[t.cur]
@@ -63,7 +70,13 @@ func (n *Node) depart(t *Task) {
 	c.runnable--
 	c.bwWeight -= t.BandwidthWeight
 	if c.runnable < 0 {
-		panic("kernel: negative runnable count")
+		// Simulated-state violation: more departures than arrivals —
+		// runqueue accounting went negative on this core.
+		invariant.Fail(invariant.Violation{
+			Check: "sched_runnable_negative", Subsystem: "sched", PID: t.Proc.PID,
+			Detail: fmt.Sprintf("core %d runnable count %d after task %d departed",
+				t.cur, c.runnable, t.ID),
+		})
 	}
 	if c.bwWeight < 1e-9 {
 		c.bwWeight = 0
@@ -75,7 +88,10 @@ func (n *Node) depart(t *Task) {
 // fn runs when the segment completes, with the wall-cycles it took.
 func (n *Node) Run(t *Task, cpuWork, stall sim.Cycles, fn func(elapsed sim.Cycles)) {
 	if t.done {
-		panic(fmt.Sprintf("kernel: Run on finished task %d", t.ID))
+		// Programmer error (API misuse, not simulated-state divergence):
+		// a workload driver issued a segment on a task it already finished.
+		panic(fmt.Sprintf("kernel: Run on finished task %d (pid %d) — callers must not reuse a finished task",
+			t.ID, t.Proc.PID))
 	}
 	n.Place(t)
 	n.arrive(t)

@@ -1,6 +1,6 @@
 package kernel
 
-import "fmt"
+import "hpmmap/internal/invariant"
 
 // SwapDevice models the swap partition: capacity accounting and the cost
 // asymmetry of rotating storage (the paper's era: swap-in is a seek).
@@ -41,7 +41,11 @@ func (s *SwapDevice) Reserve(n uint64) uint64 {
 // Release returns slots (swap-in or process exit).
 func (s *SwapDevice) Release(n uint64) {
 	if n > s.used {
-		panic(fmt.Sprintf("kernel: swap release of %d with %d used", n, s.used))
+		// Simulated-state violation: more slots released than were ever
+		// reserved — per-process swap accounting diverged from the device.
+		invariant.Failf("swap_accounting", "kernel",
+			"swap release of %d slots with only %d in use (capacity %d)",
+			n, s.used, s.TotalPages)
 	}
 	s.used -= n
 }

@@ -97,7 +97,9 @@ type Manager struct {
 // New creates the manager. pools may be nil when no mode uses HugeTLBfs.
 func New(node *kernel.Node, hpcMode, commodityMode Mode, pools *hugetlb.Pools) *Manager {
 	if (hpcMode == ModeHugeTLB || commodityMode == ModeHugeTLB) && pools == nil {
-		panic("linuxmm: HugeTLB mode requires pools")
+		// Programmer error (API misuse): the caller selected HugeTLB mode
+		// without reserving pools via hugetlb.Reserve first.
+		panic("linuxmm: New with HugeTLB mode requires non-nil hugetlb pools (call hugetlb.Reserve at boot)")
 	}
 	return &Manager{
 		node:               node,

@@ -1,6 +1,9 @@
 package linuxmm
 
 import (
+	"fmt"
+
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/mem"
 	"hpmmap/internal/pgtable"
@@ -72,7 +75,13 @@ func (m *Manager) PerformMerge(p *kernel.Process) bool {
 			va := r.start + pgtable.VirtAddr(off)
 			p.PT.UnmapRange(va, mem.LargePageSize)
 			if err := p.PT.Map(va, pfn, pgtable.Page2M, r.prot); err != nil {
-				panic("linuxmm: merge remap: " + err.Error())
+				// Simulated-state violation: khugepaged unmapped the 4KB
+				// range but the 2MB remap still collided.
+				invariant.Fail(invariant.Violation{
+					Check: "merge_remap_conflict", Subsystem: "linuxmm", PID: p.PID,
+					Manager: "thp",
+					Detail:  fmt.Sprintf("khugepaged remap at %#x failed after unmap: %v", uint64(va), err),
+				})
 			}
 		}
 		return true

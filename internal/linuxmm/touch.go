@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hpmmap/internal/fault"
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/mem"
 	"hpmmap/internal/pgtable"
@@ -229,7 +230,12 @@ func (m *Manager) touchLargeChunk(tc *touchCtx, off uint64) {
 	tc.charge(m, fault.KindLarge, cost, va, compacted)
 	if m.node.Detail && !p.Commodity {
 		if err := p.PT.Map(va, pfn, pgtable.Page2M, r.prot); err != nil {
-			panic("linuxmm: " + err.Error())
+			// Simulated-state violation: the statistical fault path and
+			// the real page table disagree about what is mapped at va.
+			invariant.Fail(invariant.Violation{
+				Check: "pt_map_conflict", Subsystem: "linuxmm", PID: p.PID,
+				Detail: fmt.Sprintf("large-fault map at %#x failed: %v", uint64(va), err),
+			})
 		}
 	}
 }
@@ -475,7 +481,13 @@ func (m *Manager) touchHugetlb(tc *touchCtx, from, to uint64) {
 			if m.node.Detail && !p.Commodity {
 				pva := va + pgtable.VirtAddr(i*mem.LargePageSize)
 				if err := p.PT.Map(pva, pfn, pgtable.Page2M, r.prot); err != nil {
-					panic("linuxmm: " + err.Error())
+					// Simulated-state violation: hugetlb slab backing
+					// collided with an existing page-table mapping.
+					invariant.Fail(invariant.Violation{
+						Check: "pt_map_conflict", Subsystem: "linuxmm", PID: p.PID,
+						Manager: "hugetlbfs",
+						Detail:  fmt.Sprintf("hugetlb slab map at %#x failed: %v", uint64(pva), err),
+					})
 				}
 			}
 		}

@@ -1,5 +1,7 @@
 package mem
 
+import "hpmmap/internal/invariant"
+
 // freeList holds the free blocks of a single buddy order. It supports O(1)
 // push, O(1) pop (LIFO, which matches the hot-cache preference of real
 // allocators), and O(1) removal by address (needed when a buddy is
@@ -23,7 +25,10 @@ func (f *freeList) contains(p PFN) bool {
 
 func (f *freeList) push(p PFN) {
 	if _, ok := f.pos[p]; ok {
-		panic("mem: freeList double push")
+		// Simulated-state violation: the same physical block entered a
+		// free list twice (a double free somewhere upstream).
+		invariant.Failf("free_list_double_push", "mem",
+			"frame %d pushed onto a free list it is already on", p)
 	}
 	f.pos[p] = len(f.items)
 	f.items = append(f.items, p)

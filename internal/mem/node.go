@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"hpmmap/internal/invariant"
+)
 
 // NodeMemory is the physical memory of one machine: a set of NUMA zones
 // with a local-first allocation policy (memory interleaving disabled, as in
@@ -14,13 +18,16 @@ type NodeMemory struct {
 // multiple of the max-order block size.
 func NewNodeMemory(numZones int, totalBytes uint64) *NodeMemory {
 	if numZones <= 0 {
-		panic("mem: NewNodeMemory with no zones")
+		// Programmer error: machine configuration with no NUMA zones.
+		panic(fmt.Sprintf("mem: NewNodeMemory with %d zones — need at least 1", numZones))
 	}
 	perZone := totalBytes / uint64(numZones)
 	maxBlockBytes := BytesPerOrder(MaxOrder)
 	perZone -= perZone % maxBlockBytes
 	if perZone == 0 {
-		panic("mem: zone size rounds to zero")
+		// Programmer error: totalBytes too small to give each zone one
+		// max-order block.
+		panic(fmt.Sprintf("mem: NewNodeMemory(%d zones, %d bytes): per-zone size rounds to zero (need >= %d per zone)", numZones, totalBytes, maxBlockBytes))
 	}
 	n := &NodeMemory{}
 	var base PFN
@@ -57,7 +64,11 @@ func (n *NodeMemory) Alloc(preferred, order int) (PFN, *Zone, bool) {
 func (n *NodeMemory) Free(p PFN, order int) {
 	z := n.ZoneOf(p)
 	if z == nil {
-		panic(fmt.Sprintf("mem: Free(%d) outside all zones", p))
+		// Simulated-state violation: a frame is being returned that no
+		// zone owns — an offlined or fabricated address escaped into the
+		// general allocator.
+		invariant.Failf("free_outside_zones", "mem",
+			"Free(%d, order %d): frame belongs to no zone", p, order)
 	}
 	z.FreeBlock(p, order)
 }

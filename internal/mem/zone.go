@@ -3,6 +3,8 @@ package mem
 import (
 	"fmt"
 	"sort"
+
+	"hpmmap/internal/invariant"
 )
 
 // Zone is one NUMA zone of physical memory managed by an order-based buddy
@@ -50,7 +52,8 @@ func NewZone(id int, base PFN, pages uint64) *Zone {
 		panic(fmt.Sprintf("mem: zone size %d pages not a multiple of max-order block (%d)", pages, maxBlock))
 	}
 	if uint64(base)%maxBlock != 0 {
-		panic("mem: zone base not max-order aligned")
+		// Programmer error: zone construction with a misaligned base.
+		panic(fmt.Sprintf("mem: NewZone base %d not aligned to the max-order block (%d pages)", base, maxBlock))
 	}
 	z := &Zone{ID: id, Base: base, Pages: pages}
 	for o := range z.free {
@@ -88,7 +91,8 @@ func (z *Zone) buddyOf(p PFN, order int) PFN {
 // which Linux would enter reclaim/compaction.
 func (z *Zone) AllocPages(order int) (PFN, bool) {
 	if order < 0 || order > MaxOrder {
-		panic(fmt.Sprintf("mem: AllocPages order %d out of range", order))
+		// Programmer error: order outside [0, MaxOrder].
+		panic(fmt.Sprintf("mem: AllocPages order %d out of range [0,%d]", order, MaxOrder))
 	}
 	for o := order; o <= MaxOrder; o++ {
 		p, ok := z.free[o].pop()
@@ -113,13 +117,22 @@ func (z *Zone) AllocPages(order int) (PFN, bool) {
 // as far as possible.
 func (z *Zone) FreeBlock(p PFN, order int) {
 	if order < 0 || order > MaxOrder {
-		panic(fmt.Sprintf("mem: FreeBlock order %d out of range", order))
+		// Programmer error: order outside [0, MaxOrder].
+		panic(fmt.Sprintf("mem: FreeBlock order %d out of range [0,%d]", order, MaxOrder))
 	}
 	if p < z.Base || p+PFN(PagesPerOrder(order)) > z.Base+PFN(z.Pages) {
-		panic(fmt.Sprintf("mem: FreeBlock [%d,+2^%d) outside zone %d", p, order, z.ID))
+		// Simulated-state violation: the block being freed does not lie
+		// inside this zone's managed span — an owner mixed up zones or
+		// freed a stale/offlined frame.
+		invariant.Failf("free_outside_zone", "mem",
+			"FreeBlock [%d,+2^%d) outside zone %d span [%d,%d)",
+			p, order, z.ID, z.Base, z.Base+PFN(z.Pages))
 	}
 	if uint64(p-z.Base)%PagesPerOrder(order) != 0 {
-		panic("mem: FreeBlock misaligned for order")
+		// Simulated-state violation: the freed address is not aligned to
+		// its order, so it cannot be a block this allocator handed out.
+		invariant.Failf("free_misaligned", "mem",
+			"FreeBlock(%d, order %d) misaligned within zone %d", p, order, z.ID)
 	}
 	z.Frees++
 	z.freePages += PagesPerOrder(order)
@@ -255,7 +268,10 @@ func (z *Zone) Offline(bytes uint64) ([]Extent, error) {
 		for b := uint64(0); b < blocksPerSection; b++ {
 			p := base + PFN(b*PagesPerOrder(MaxOrder))
 			if !z.free[MaxOrder].remove(p) {
-				panic("mem: offline lost a free block")
+				// Simulated-state violation: a block the offline scan just
+				// observed free disappeared from the free list mid-pass.
+				invariant.Failf("offline_lost_block", "mem",
+					"offline: max-order block %d vanished from zone %d's free list", p, z.ID)
 			}
 			delete(run, p)
 		}
@@ -302,7 +318,87 @@ func (z *Zone) Offline(bytes uint64) ([]Extent, error) {
 // Offlined returns the extents removed from this zone so far.
 func (z *Zone) Offlined() []Extent { return z.offlined }
 
-// checkInvariants validates internal consistency; used by tests.
+// CheckInvariants validates the zone's full internal consistency — free-
+// list conservation (every free frame appears exactly once and the
+// per-order totals sum to freePages), block alignment and bounds, and
+// buddy coalescing (no two buddy blocks sit free at the same order below
+// MaxOrder, which FreeBlock's eager coalescing must never allow). Used
+// by tests and by the opt-in invariant auditor (internal/invariant) at
+// scheduler-tick boundaries.
+func (z *Zone) CheckInvariants() error {
+	if err := z.checkInvariants(); err != nil {
+		return invariant.Errorf("zone_conservation", "mem", "zone %d: %v", z.ID, err)
+	}
+	// Coalescing: a free block whose buddy is also free at the same
+	// order (below MaxOrder) should have been merged by FreeBlock.
+	for o := 0; o < MaxOrder; o++ {
+		var bad PFN
+		found := false
+		z.free[o].each(func(p PFN) {
+			if found {
+				return
+			}
+			buddy := z.buddyOf(p, o)
+			if buddy > p && z.free[o].contains(buddy) {
+				bad, found = p, true
+			}
+		})
+		if found {
+			return invariant.Errorf("zone_coalescing", "mem",
+				"zone %d: blocks %d and %d are free buddies at order %d but unmerged",
+				z.ID, bad, z.buddyOf(bad, o), o)
+		}
+	}
+	return nil
+}
+
+// CheckAccounting is the cheap sibling of CheckInvariants: free-page
+// conservation (per-order list lengths sum to freePages), block bounds,
+// alignment and buddy coalescing — everything O(free blocks), skipping
+// only the O(free frames) duplicate-frame scan. The invariant auditor
+// runs this at every tick and reserves the full CheckInvariants for a
+// strided deep pass, keeping audit overhead bounded on large zones.
+func (z *Zone) CheckAccounting() error {
+	limit := z.Base + PFN(z.Pages) + PFN(offlinedPages(z))
+	var total uint64
+	for o := 0; o <= MaxOrder; o++ {
+		total += uint64(z.free[o].len()) * PagesPerOrder(o)
+		var err error
+		z.free[o].each(func(p PFN) {
+			if err != nil {
+				return
+			}
+			if p < z.Base || p+PFN(PagesPerOrder(o)) > limit {
+				err = invariant.Errorf("zone_conservation", "mem",
+					"zone %d: free block %d order %d outside zone", z.ID, p, o)
+				return
+			}
+			if uint64(p-z.Base)%PagesPerOrder(o) != 0 {
+				err = invariant.Errorf("zone_conservation", "mem",
+					"zone %d: free block %d misaligned for order %d", z.ID, p, o)
+				return
+			}
+			if o < MaxOrder {
+				if buddy := z.buddyOf(p, o); buddy > p && z.free[o].contains(buddy) {
+					err = invariant.Errorf("zone_coalescing", "mem",
+						"zone %d: blocks %d and %d are free buddies at order %d but unmerged",
+						z.ID, p, buddy, o)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if total != z.freePages {
+		return invariant.Errorf("zone_conservation", "mem",
+			"zone %d: free list total %d != freePages %d", z.ID, total, z.freePages)
+	}
+	return nil
+}
+
+// checkInvariants validates free-list conservation; used by tests and
+// wrapped (with the coalescing check) by the exported CheckInvariants.
 func (z *Zone) checkInvariants() error {
 	var total uint64
 	seen := make(map[PFN]int)

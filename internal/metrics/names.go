@@ -106,4 +106,32 @@ const (
 	// sim_* — the discrete-event engine itself.
 	SimEventsTotal = "sim_events_total"
 	SimFinalCycles = "sim_final_cycles"
+
+	// chaos_* — the deterministic fault injector (internal/chaos). Only
+	// present when a run attaches an injector; chaos runs are never part
+	// of the baseline figure pipeline.
+	ChaosEventsTotal             = "chaos_events_total"
+	ChaosPressureSpikesTotal     = "chaos_pressure_spikes_total"
+	ChaosPressureSpikeBytesTotal = "chaos_pressure_spike_bytes_total"
+	ChaosBuddyBurstsTotal        = "chaos_buddy_bursts_total"
+	ChaosBuddyBurstPagesTotal    = "chaos_buddy_burst_pages_total"
+	ChaosPagecacheFillsTotal     = "chaos_pagecache_fills_total"
+	ChaosPagecacheFillBytesTotal = "chaos_pagecache_fill_bytes_total"
+	ChaosSwapFillsTotal          = "chaos_swap_fills_total"
+	ChaosSwapReservedPagesTotal  = "chaos_swap_reserved_pages_total"
+	ChaosTLBStormsTotal          = "chaos_tlb_storms_total"
+	ChaosTLBStormStallsTotal     = "chaos_tlb_storm_stalls_total"
+	ChaosStragglersTotal         = "chaos_stragglers_total"
+	ChaosStragglerCycles         = "chaos_straggler_cycles"
+
+	// invariant_* — the opt-in consistency auditor (internal/invariant).
+	InvariantChecksTotal     = "invariant_checks_total"
+	InvariantViolationsTotal = "invariant_violations_total"
+
+	// runner_* — plan-level orchestration health (internal/runner).
+	// These live in the plan registry, not per-cell registries, so they
+	// appear exactly once in a merged snapshot.
+	RunnerCacheCorruptTotal = "runner_cache_corrupt_total"
+	RunnerCellsFailedTotal  = "runner_cells_failed_total"
+	RunnerCellRetriesTotal  = "runner_cell_retries_total"
 )

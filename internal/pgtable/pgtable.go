@@ -8,6 +8,7 @@ package pgtable
 import (
 	"fmt"
 
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/mem"
 	"hpmmap/internal/metrics"
 )
@@ -47,7 +48,8 @@ func (ps PageSize) Bytes() uint64 {
 	case Page1G:
 		return mem.HugePageSize
 	}
-	panic(fmt.Sprintf("pgtable: bad page size %d", ps))
+	// Programmer error: invalid PageSize constant from the caller.
+	panic(fmt.Sprintf("pgtable: Bytes() with invalid PageSize %d (valid: Page4K, Page2M, Page1G)", ps))
 }
 
 func (ps PageSize) String() string {
@@ -89,7 +91,9 @@ func levelFor(ps PageSize) int {
 	case Page1G:
 		return levelPDPT
 	}
-	panic("pgtable: bad page size")
+	// Programmer error: the caller passed a PageSize value that is not
+	// one of the three declared constants.
+	panic(fmt.Sprintf("pgtable: level lookup with invalid PageSize %d (valid: Page4K, Page2M, Page1G)", ps))
 }
 
 // entry is one slot of a table node.
@@ -266,7 +270,11 @@ func (t *Table) walk(va VirtAddr) (Mapping, bool) {
 		}
 		n = e.child
 	}
-	panic("pgtable: walk fell off the tree") // unreachable: PT entries are always leaves
+	// Simulated-state violation: a bottom-level entry was present but not
+	// a leaf — the radix tree grew a level that cannot exist on x86-64.
+	invariant.Failf("walk_off_tree", "pgtable",
+		"walk(%#x) descended past the PT level without hitting a leaf", uint64(va))
+	return Mapping{}, false // unreachable
 }
 
 // Translate returns the physical frame backing va along with the byte
@@ -343,7 +351,11 @@ func (t *Table) Protect(va VirtAddr, prot Prot) (PageSize, error) {
 		}
 		n = e.child
 	}
-	panic("pgtable: protect fell off the tree")
+	// Simulated-state violation: same impossible shape as walk_off_tree,
+	// reached through the protection-change path.
+	invariant.Failf("protect_off_tree", "pgtable",
+		"Protect(%#x) descended past the PT level without hitting a leaf", uint64(va))
+	return 0, nil // unreachable
 }
 
 // Split2M replaces the 2MB leaf at va with a PT of 512 4KB leaves covering
@@ -428,7 +440,12 @@ func (t *Table) UnmapRange(start VirtAddr, length uint64) []ReleasedPage {
 	for _, tg := range targets {
 		pfn, err := t.Unmap(tg.va, tg.ps)
 		if err != nil {
-			panic("pgtable: UnmapRange lost a mapping: " + err.Error())
+			// Simulated-state violation: a mapping Range just enumerated
+			// disappeared before Unmap reached it — the table mutated
+			// underneath its own teardown.
+			invariant.Failf("unmap_lost_mapping", "pgtable",
+				"UnmapRange[%#x,+%#x): mapping at %#x (size %s) vanished mid-teardown: %v",
+				uint64(start), length, uint64(tg.va), tg.ps, err)
 		}
 		released = append(released, ReleasedPage{VA: tg.va, PFN: pfn, Size: tg.ps})
 	}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 )
 
 // Cache is a JSON result cache keyed by experiment cell coordinates. It
@@ -22,6 +24,14 @@ import (
 type Cache struct {
 	dir     string
 	version string
+
+	// corrupt counts cell files that existed but failed to decode — a
+	// truncated write, disk corruption, or manual tampering. Corrupt
+	// files are deleted on detection (so the re-simulated result can be
+	// re-cached cleanly), counted for runner_cache_corrupt_total, and
+	// logged once per process run.
+	corrupt atomic.Uint64
+	logOnce sync.Once
 }
 
 // NewCache opens (creating if needed) a cache rooted at dir. version is
@@ -51,16 +61,40 @@ func (c *Cache) Key(plan string, cell Cell, seed uint64, scale float64) string {
 }
 
 // Get loads the cached value for key into out, reporting whether it hit.
-// Any read or decode failure is treated as a miss (the cell re-runs).
+// A missing file is a plain miss. A file that exists but fails to decode
+// (truncated or corrupt JSON) is also a miss — but it is counted (see
+// CorruptCount), logged once, and deleted so the re-simulated cell can
+// re-cache a clean entry instead of tripping over the bad file forever.
 func (c *Cache) Get(key string, out any) bool {
 	if c == nil {
 		return false
 	}
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return false
 	}
-	return json.Unmarshal(data, out) == nil
+	if uerr := json.Unmarshal(data, out); uerr != nil {
+		c.corrupt.Add(1)
+		c.logOnce.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"runner: corrupt cache entry %s (%v); deleting and re-simulating (further corrupt entries counted silently)\n",
+				path, uerr)
+		})
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// CorruptCount returns how many corrupt cache entries this cache has
+// detected (and deleted) so far. Safe on a nil cache and safe for
+// concurrent use.
+func (c *Cache) CorruptCount() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.corrupt.Load()
 }
 
 // Put stores v under key. Errors are returned but callers may ignore

@@ -1,0 +1,278 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpmmap/internal/invariant"
+	"hpmmap/internal/metrics"
+)
+
+func degradePlan(n int) Plan {
+	p := Plan{Name: "degrade", Seed: 1}
+	for i := 0; i < n; i++ {
+		p.Cells = append(p.Cells, Cell{Exp: "t", Bench: "b", Cores: 1, Run: i})
+	}
+	return p
+}
+
+func TestContinueOnErrorQuarantinesFailures(t *testing.T) {
+	plan := degradePlan(8)
+	boom := errors.New("cell exploded")
+	res, err := Run(Options{Workers: 3, ContinueOnError: true}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			if idx == 2 || idx == 5 {
+				return 0, boom
+			}
+			return idx + 100, nil
+		})
+	ge, ok := AsGridError(err)
+	if !ok {
+		t.Fatalf("want *GridError, got %v", err)
+	}
+	if got := ge.FailedIndexes(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("failed indexes = %v, want [2 5]", got)
+	}
+	if ge.Total != 8 {
+		t.Fatalf("Total = %d, want 8", ge.Total)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("GridError does not unwrap to the cell cause")
+	}
+	for i, v := range res {
+		switch i {
+		case 2, 5:
+			if v != 0 {
+				t.Fatalf("failed cell %d has non-zero result %d", i, v)
+			}
+		default:
+			if v != i+100 {
+				t.Fatalf("cell %d result = %d, want %d", i, v, i+100)
+			}
+		}
+	}
+	if !strings.Contains(ge.Error(), "2 of 8 cells failed") {
+		t.Fatalf("summary = %q", ge.Error())
+	}
+}
+
+func TestContinueOnErrorAllCellsStillRun(t *testing.T) {
+	plan := degradePlan(16)
+	var ran atomic.Uint64
+	_, err := Run(Options{Workers: 4, ContinueOnError: true}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			ran.Add(1)
+			return 0, fmt.Errorf("always fails")
+		})
+	if ran.Load() != 16 {
+		t.Fatalf("only %d of 16 cells ran under ContinueOnError", ran.Load())
+	}
+	ge, ok := AsGridError(err)
+	if !ok || len(ge.Failures) != 16 {
+		t.Fatalf("want 16 failures, got %v", err)
+	}
+	for i, f := range ge.Failures {
+		if f.Index != i {
+			t.Fatalf("failures not sorted by index: %v", ge.FailedIndexes())
+		}
+	}
+}
+
+func TestFirstErrorStillCancelsWithoutContinue(t *testing.T) {
+	plan := degradePlan(64)
+	var ran atomic.Uint64
+	_, err := Run(Options{Workers: 1}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			ran.Add(1)
+			return 0, errors.New("fail fast")
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, ok := AsGridError(err); ok {
+		t.Fatal("fail-fast mode must not return a GridError")
+	}
+	if ran.Load() == 64 {
+		t.Fatal("fail-fast mode ran every cell after the first error")
+	}
+}
+
+func TestTransientRetries(t *testing.T) {
+	plan := degradePlan(1)
+	attempts := 0
+	res, err := Run(Options{Retries: 3}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			attempts++
+			if attempts < 3 {
+				return 0, Transient(errors.New("flaky disk"))
+			}
+			return 7, nil
+		})
+	if err != nil || res[0] != 7 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestDeterministicErrorsNotRetried(t *testing.T) {
+	plan := degradePlan(1)
+	attempts := 0
+	_, err := Run(Options{Retries: 5}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			attempts++
+			return 0, errors.New("simulation diverged")
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if attempts != 1 {
+		t.Fatalf("deterministic error retried %d times", attempts-1)
+	}
+}
+
+func TestRetriesExhaustedReportsTransient(t *testing.T) {
+	plan := degradePlan(1)
+	attempts := 0
+	_, err := Run(Options{Retries: 2}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			attempts++
+			return 0, Transient(errors.New("still flaky"))
+		})
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("want transient-marked error after exhausted retries, got %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	plan := degradePlan(1)
+	_, err := Run(Options{CellTimeout: 20 * time.Millisecond}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			<-ctx.Done() // a well-behaved cell observes cancellation
+			return 0, ctx.Err()
+		})
+	if err == nil || !strings.Contains(err.Error(), "exceeded timeout") {
+		t.Fatalf("want timeout-annotated error, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout cause not preserved: %v", err)
+	}
+}
+
+func TestPanicPreservesErrorPayload(t *testing.T) {
+	plan := degradePlan(2)
+	_, err := Run(Options{Workers: 1, ContinueOnError: true}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			if idx == 1 {
+				invariant.Failf("test_check", "testsub", "deliberate violation in cell %d", idx)
+			}
+			return idx, nil
+		})
+	ge, ok := AsGridError(err)
+	if !ok || len(ge.Failures) != 1 {
+		t.Fatalf("want one quarantined failure, got %v", err)
+	}
+	v, ok := invariant.As(ge.Failures[0].Err)
+	if !ok {
+		t.Fatalf("violation payload lost through panic containment: %v", ge.Failures[0].Err)
+	}
+	if v.Check != "test_check" || v.Subsystem != "testsub" {
+		t.Fatalf("wrong violation recovered: %+v", v)
+	}
+	// And through the aggregate error itself.
+	if v2, ok := invariant.As(err); !ok || v2.Check != "test_check" {
+		t.Fatal("errors.As through *GridError did not reach the violation")
+	}
+}
+
+func TestRunnerMetrics(t *testing.T) {
+	obs := NewObservations(0)
+	plan := degradePlan(4)
+	attempts := make([]int, 4)
+	_, err := Run(Options{Workers: 1, ContinueOnError: true, Retries: 1, Metrics: obs.PlanRegistry()}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			attempts[idx]++
+			switch idx {
+			case 1:
+				return 0, errors.New("hard failure")
+			case 2:
+				if attempts[2] == 1 {
+					return 0, Transient(errors.New("transient once"))
+				}
+			}
+			return idx, nil
+		})
+	if _, ok := AsGridError(err); !ok {
+		t.Fatalf("want grid error, got %v", err)
+	}
+	snap := obs.Merged()
+	if got := snap.CounterValue(metrics.RunnerCellsFailedTotal); got != 1 {
+		t.Fatalf("runner_cells_failed_total = %d, want 1", got)
+	}
+	if got := snap.CounterValue(metrics.RunnerCellRetriesTotal); got != 1 {
+		t.Fatalf("runner_cell_retries_total = %d, want 1", got)
+	}
+}
+
+func TestCacheCorruptEntryDetected(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := c.Key("p", Cell{Exp: "t"}, 42, 1)
+	if err := c.Put(key, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry: truncate mid-JSON.
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte(`{"x":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if c.Get(key, &out) {
+		t.Fatal("corrupt entry reported as a hit")
+	}
+	if got := c.CorruptCount(); got != 1 {
+		t.Fatalf("CorruptCount = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry was not deleted")
+	}
+	// The slot is reusable after deletion.
+	if err := c.Put(key, map[string]int{"x": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &out) || out["x"] != 2 {
+		t.Fatal("re-cached entry does not hit")
+	}
+	// Wire into the plan registry.
+	obs := NewObservations(0)
+	obs.ObserveCache(c)
+	if got := obs.Merged().CounterValue(metrics.RunnerCacheCorruptTotal); got != 1 {
+		t.Fatalf("runner_cache_corrupt_total = %d, want 1", got)
+	}
+}
+
+func TestNilCacheCorruptCount(t *testing.T) {
+	var c *Cache
+	if c.CorruptCount() != 0 {
+		t.Fatal("nil cache reports corruption")
+	}
+	var o *Observations
+	o.ObserveCache(nil) // must not panic
+	if o.PlanRegistry() != nil {
+		t.Fatal("nil observations returned a live registry")
+	}
+}

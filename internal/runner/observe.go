@@ -23,6 +23,11 @@ type Observations struct {
 	mu      sync.Mutex
 	clockHz float64
 	cells   map[int]*cellObs
+
+	// plan holds plan-level (not per-cell) metric sources: the runner's
+	// own failure/retry counters and the result cache's corruption
+	// tally. Folded into Merged exactly once, after the cells.
+	plan *metrics.Registry
 }
 
 // cellObs is one cell's collected instrumentation.
@@ -99,6 +104,34 @@ func (o *Observations) Record(idx int, snap metrics.Snapshot) {
 	c.hasSnap = true
 }
 
+// PlanRegistry returns the plan-level registry, creating it on first
+// use. It holds metrics that belong to the orchestration itself rather
+// than any one cell (runner_cells_failed_total, runner_cell_retries_
+// total, runner_cache_corrupt_total); pass it as Options.Metrics. Its
+// snapshot is merged once, after every cell's, so plan-level totals are
+// deterministic at any worker count. Safe on a nil receiver (returns
+// nil, the no-op registry).
+func (o *Observations) PlanRegistry() *metrics.Registry {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.plan == nil {
+		o.plan = metrics.NewRegistry()
+	}
+	return o.plan
+}
+
+// ObserveCache wires the result cache's corruption tally into the plan
+// registry as a pull source. Safe on a nil receiver or nil cache.
+func (o *Observations) ObserveCache(c *Cache) {
+	if o == nil || c == nil {
+		return
+	}
+	o.PlanRegistry().CounterFunc(metrics.RunnerCacheCorruptTotal, func() uint64 { return c.CorruptCount() })
+}
+
 // indexes returns the collected cell indexes in ascending order. Callers
 // must hold o.mu.
 func (o *Observations) indexes() []int {
@@ -128,6 +161,9 @@ func (o *Observations) Merged() metrics.Snapshot {
 			c.hasSnap = true
 		}
 		snaps = append(snaps, c.snap)
+	}
+	if o.plan != nil {
+		snaps = append(snaps, o.plan.Snapshot())
 	}
 	return metrics.Merge(snaps...)
 }

@@ -18,7 +18,13 @@
 //     consumers may write to unsynchronized state (a terminal, a log
 //     line buffer) without locking.
 //   - The first cell error cancels the remaining cells and is returned;
-//     worker panics are contained and converted into errors.
+//     worker panics are contained and converted into errors whose cause
+//     chain is preserved (a structured invariant.Violation survives the
+//     recovery). Options.ContinueOnError flips the policy: failed cells
+//     are quarantined as holes and reported together in a *GridError
+//     while every other cell still runs. Options.CellTimeout bounds a
+//     cell's wall clock; Options.Retries re-runs host-transient
+//     failures (marked via Transient).
 //   - Per-cell results can be memoized on disk (Cache) and instrumented
 //     (Observations hands each cell a private metrics registry and
 //     Chrome tracer, then merges them in cell-index order — see
@@ -30,8 +36,12 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"hpmmap/internal/metrics"
 )
 
 // Cell is one point of an experiment grid. The string/int coordinates
@@ -122,6 +132,35 @@ type Options struct {
 	// through a serialized sink: invocations never overlap, so the
 	// callback may touch unsynchronized state.
 	Progress func(Event)
+
+	// CellTimeout bounds one cell's wall-clock execution: the cell's
+	// context is cancelled after the duration and the cell fails with a
+	// timeout-annotated error. Zero means no per-cell bound. Simulation
+	// cells observe cancellation every few tens of thousands of engine
+	// events (see experiments.runToCompletion), so a runaway cell stops
+	// promptly rather than at its natural end.
+	CellTimeout time.Duration
+
+	// Retries re-runs a failed cell up to this many additional times —
+	// but only for errors marked host-transient via Transient (cache
+	// I/O, filesystem hiccups). Simulation errors are deterministic:
+	// re-running them reproduces the identical failure, so they are
+	// never retried. Retried cells reuse the same coordinate-derived
+	// seed, preserving the determinism contract.
+	Retries int
+
+	// ContinueOnError quarantines failed cells instead of cancelling
+	// the plan: every remaining cell still runs, the zero value stands
+	// in for each failed cell's result, and Run returns a *GridError
+	// listing the failures in cell-index order. Parent-context
+	// cancellation still aborts the run (and takes precedence over the
+	// grid error in the return).
+	ContinueOnError bool
+
+	// Metrics, when non-nil, receives the runner's own plan-level
+	// counters (runner_cells_failed_total, runner_cell_retries_total)
+	// as pull sources — typically Observations.PlanRegistry().
+	Metrics *metrics.Registry
 }
 
 // CellFunc computes one cell. idx is the cell's position in Plan.Cells;
@@ -155,15 +194,28 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 	defer cancel()
 
 	var (
-		mu       sync.Mutex // serializes progress + first-error recording
+		mu       sync.Mutex // serializes progress + failure recording
 		firstErr error
+		failures []CellError
 		done     int
 		start    = time.Now()
+
+		cellsFailed, cellRetries atomic.Uint64
 	)
-	fail := func(err error) {
+	if opts.Metrics != nil {
+		opts.Metrics.CounterFunc(metrics.RunnerCellsFailedTotal, func() uint64 { return cellsFailed.Load() })
+		opts.Metrics.CounterFunc(metrics.RunnerCellRetriesTotal, func() uint64 { return cellRetries.Load() })
+	}
+	fail := func(idx int, err error) {
+		cellsFailed.Add(1)
 		mu.Lock()
+		if opts.ContinueOnError {
+			failures = append(failures, CellError{Index: idx, Cell: plan.Cells[idx], Err: err})
+			mu.Unlock()
+			return
+		}
 		if firstErr == nil {
-			firstErr = err
+			firstErr = fmt.Errorf("%s: %w", plan.Cells[idx], err)
 			cancel()
 		}
 		mu.Unlock()
@@ -188,16 +240,46 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 		})
 	}
 
-	// runCell contains panics so one bad cell cannot take down the
-	// process; the recovered value becomes the cell's error.
-	runCell := func(idx int) (out T, err error) {
+	// runOnce executes one attempt of one cell, containing panics so
+	// one bad cell cannot take down the process. A recovered error
+	// payload (e.g. a structured *invariant.Violation raised by a
+	// simulated-state audit) is preserved in the wrap chain, so callers
+	// can errors.As through the cell error to the original cause.
+	runOnce := func(idx int) (out T, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("runner: panic in cell %s: %v\n%s",
-					plan.Cells[idx], r, debug.Stack())
+				if cause, ok := r.(error); ok {
+					err = fmt.Errorf("runner: panic in cell %s: %w\n%s",
+						plan.Cells[idx], cause, debug.Stack())
+				} else {
+					err = fmt.Errorf("runner: panic in cell %s: %v\n%s",
+						plan.Cells[idx], r, debug.Stack())
+				}
 			}
 		}()
-		return fn(ctx, idx, plan.Cells[idx], plan.Cells[idx].Seed(plan.Seed))
+		cellCtx := ctx
+		if opts.CellTimeout > 0 {
+			var cancelCell context.CancelFunc
+			cellCtx, cancelCell = context.WithTimeout(ctx, opts.CellTimeout)
+			defer cancelCell()
+		}
+		out, err = fn(cellCtx, idx, plan.Cells[idx], plan.Cells[idx].Seed(plan.Seed))
+		if err != nil && cellCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			err = fmt.Errorf("runner: cell exceeded timeout %s: %w", opts.CellTimeout, err)
+		}
+		return out, err
+	}
+
+	// runCell adds the bounded retry: only host-transient failures
+	// (marked via Transient) re-run, and only while the plan is live.
+	runCell := func(idx int) (out T, err error) {
+		for attempt := 0; ; attempt++ {
+			out, err = runOnce(idx)
+			if err == nil || attempt >= opts.Retries || !IsTransient(err) || ctx.Err() != nil {
+				return out, err
+			}
+			cellRetries.Add(1)
+		}
 	}
 
 	jobs := make(chan int)
@@ -212,7 +294,7 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 				}
 				out, err := runCell(idx)
 				if err != nil {
-					fail(fmt.Errorf("%s: %w", plan.Cells[idx], err))
+					fail(idx, err)
 					emit(idx, nil, err)
 					continue
 				}
@@ -229,12 +311,17 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 
 	mu.Lock()
 	err := firstErr
+	fails := failures
 	mu.Unlock()
 	if err != nil {
 		return results, err
 	}
 	if cerr := parent.Err(); cerr != nil {
 		return results, cerr
+	}
+	if len(fails) > 0 {
+		sort.Slice(fails, func(i, j int) bool { return fails[i].Index < fails[j].Index })
+		return results, &GridError{Plan: plan.Name, Total: len(plan.Cells), Failures: fails}
 	}
 	return results, nil
 }

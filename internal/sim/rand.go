@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -59,7 +60,8 @@ func (r *Rand) Uint64() uint64 {
 // Uint64n returns a uniform value in [0, n). n must be > 0.
 func (r *Rand) Uint64n(n uint64) uint64 {
 	if n == 0 {
-		panic("sim: Uint64n(0)")
+		// Programmer error: a zero bound has no valid range.
+		panic("sim: Uint64n(0) — bound must be > 0")
 	}
 	// Lemire's bounded generation with a rejection loop on the biased zone.
 	threshold := (-n) % n
@@ -74,7 +76,8 @@ func (r *Rand) Uint64n(n uint64) uint64 {
 // Intn returns a uniform int in [0, n). n must be > 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
-		panic("sim: Intn with non-positive n")
+		// Programmer error: a non-positive bound has no valid range.
+		panic(fmt.Sprintf("sim: Intn(%d) — bound must be > 0", n))
 	}
 	return int(r.Uint64n(uint64(n)))
 }

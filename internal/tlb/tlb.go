@@ -156,7 +156,9 @@ func New(cfg Config) (*TLB, error) {
 func MustNew(cfg Config) *TLB {
 	t, err := New(cfg)
 	if err != nil {
-		panic(err)
+		// Programmer error: MustNew is reserved for compile-time-known
+		// geometries; a bad Config is a caller bug.
+		panic(fmt.Errorf("tlb: MustNew with invalid config: %w", err))
 	}
 	return t
 }
