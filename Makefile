@@ -1,15 +1,17 @@
 # Tier-1 verification for this repository. `make verify` is what CI
-# runs: build everything, run every test, re-run the concurrency-bearing
-# packages under the race detector, and vet. The observability contract
+# runs: build everything, run every test, re-run the whole tree under
+# the race detector, vet, and run the detsim determinism linter
+# (cmd/hpmmap-vet — see ANALYSIS.md). The observability contract
 # (OBSERVABILITY.md rows <-> internal/metrics/names.go constants <->
 # source-tree usage) is enforced by internal/metrics/contract_test.go,
-# which `test` includes.
+# which `test` includes; its weakest leg (registration-site constants)
+# is additionally enforced at lint time by the metricname analyzer.
 
 GO ?= go
 
-.PHONY: verify build test race vet bench chaos
+.PHONY: verify build test race vet lint bench chaos
 
-verify: build test race vet
+verify: build test race vet lint
 
 build:
 	$(GO) build ./...
@@ -18,10 +20,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 30m ./internal/runner/... ./internal/experiments/... ./internal/chaos/... ./internal/invariant/...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
+
+# The detsim determinism-and-invariant analyzer suite (wallclock,
+# randsource, maporder, panicsite, metricname), run through the go
+# command's vet harness. Manual invocation:
+#   go build -o bin/hpmmap-vet ./cmd/hpmmap-vet
+#   go vet -vettool=$(pwd)/bin/hpmmap-vet ./...
+lint:
+	$(GO) build -o bin/hpmmap-vet ./cmd/hpmmap-vet
+	$(GO) vet -vettool=$(abspath bin/hpmmap-vet) ./...
 
 # Allocation benchmarks for the no-op instrumentation path (must report
 # 0 B/op on BenchmarkUninstrumentedFault).

@@ -1,0 +1,272 @@
+// Package atest is a self-contained golden-testdata harness for the
+// detsim analyzers — a minimal, offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest (which depends on
+// go/packages and a module proxy, neither of which this repository's
+// hermetic build environment provides).
+//
+// Layout and semantics follow analysistest: test packages live under
+// testdata/src/<import/path>/, and every line that should produce a
+// diagnostic carries a trailing comment of the form
+//
+//	// want "regexp"           (one or more quoted regexps)
+//	// want `regexp`
+//
+// Run type-checks the package under its testdata import path — so the
+// detsim analyzers' package classification (hpmmap/internal/...)
+// applies exactly as it does under `go vet -vettool` — runs the
+// analyzer and its Requires closure, and fails the test on any
+// unexpected diagnostic or unmatched expectation. Imports of other
+// testdata packages resolve within testdata/src; standard-library
+// imports resolve through the compiler's source importer.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<pkgpath>, applies a, and checks diagnostics
+// against // want comments. testdata is the path of the testdata
+// directory (usually analysis.TestdataDir(t) == "testdata").
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loadedPkg),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+
+	target, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("atest: loading %s: %v", pkgpath, err)
+	}
+
+	diags, err := runWithDeps(a, target, ld.fset, make(map[*analysis.Analyzer]interface{}))
+	if err != nil {
+		t.Fatalf("atest: running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	checkDiagnostics(t, ld.fset, target.files, diags)
+}
+
+// --- package loading -----------------------------------------------------
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*loadedPkg
+	fallback types.Importer
+	loading  []string // cycle detection
+}
+
+// Import implements types.Importer: testdata packages first, then the
+// standard library via the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.testdata, "src", path); dirExists(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	for _, active := range l.loading {
+		if active == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.testdata, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// --- analyzer execution --------------------------------------------------
+
+// runWithDeps runs a's Requires closure (memoised in results), then a
+// itself, returning a's diagnostics.
+func runWithDeps(a *analysis.Analyzer, p *loadedPkg, fset *token.FileSet, results map[*analysis.Analyzer]interface{}) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, dep := range a.Requires {
+		if _, done := results[dep]; done {
+			continue
+		}
+		// Dependency diagnostics are discarded: only the analyzer under
+		// test is being golden-checked.
+		if _, err := runWithDeps(dep, p, fset, results); err != nil {
+			return nil, fmt.Errorf("dependency %s: %w", dep.Name, err)
+		}
+	}
+	sizes := types.SizesFor("gc", "amd64")
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              fset,
+		Files:             p.files,
+		Pkg:               p.pkg,
+		TypesInfo:         p.info,
+		TypesSizes:        sizes,
+		ResultOf:          results,
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return diags, nil
+}
+
+// --- expectation checking ------------------------------------------------
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\")|(?:`([^`]*)`)")
+
+// parseExpectations extracts // want comments from the files.
+func parseExpectations(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var exps []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				body := strings.TrimPrefix(text, "want")
+				for _, m := range wantRE.FindAllStringSubmatch(body, -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					} else {
+						// Undo string-literal escaping for the double-quoted form.
+						if unq, err := strconv.Unquote(`"` + raw + `"`); err == nil {
+							raw = unq
+						}
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return exps, nil
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	exps, err := parseExpectations(fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, e := range exps {
+			if e.matched || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}

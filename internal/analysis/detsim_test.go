@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"testing"
+
+	"hpmmap/internal/analysis/atest"
+)
+
+// Golden-testdata coverage: every analyzer is run over packages
+// containing both positive (// want) and allowlisted/exempt-negative
+// cases. The testdata packages are type-checked under real
+// hpmmap/internal/... import paths, so the package-classification
+// logic is exercised exactly as it is under `go vet -vettool`.
+
+func TestWallclockSimPackage(t *testing.T) {
+	atest.Run(t, "testdata", WallclockAnalyzer, "hpmmap/internal/kernel")
+}
+
+func TestWallclockAllowlistedPackage(t *testing.T) {
+	atest.Run(t, "testdata", WallclockAnalyzer, "hpmmap/internal/runner")
+}
+
+func TestRandsource(t *testing.T) {
+	atest.Run(t, "testdata", RandsourceAnalyzer, "hpmmap/internal/workload")
+}
+
+func TestRandsourceSimExempt(t *testing.T) {
+	atest.Run(t, "testdata", RandsourceAnalyzer, "hpmmap/internal/sim")
+}
+
+func TestMaporder(t *testing.T) {
+	atest.Run(t, "testdata", MaporderAnalyzer, "hpmmap/internal/experiments")
+}
+
+func TestPanicsite(t *testing.T) {
+	atest.Run(t, "testdata", PanicsiteAnalyzer, "hpmmap/internal/mem")
+}
+
+func TestPanicsiteInvariantExempt(t *testing.T) {
+	atest.Run(t, "testdata", PanicsiteAnalyzer, "hpmmap/internal/invariant")
+}
+
+func TestMetricname(t *testing.T) {
+	atest.Run(t, "testdata", MetricnameAnalyzer, "hpmmap/internal/tlb")
+}
+
+// The suite must stay stable in name and order: hpmmap-vet's findings
+// (and CI baselines) key off analyzer names.
+func TestSuiteComposition(t *testing.T) {
+	want := []string{"wallclock", "randsource", "maporder", "panicsite", "metricname"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MaporderAnalyzer flags `for … := range m` over a map whose loop body
+// does order-sensitive work. Go randomises map iteration order per run,
+// so any such loop that appends to an outer slice, accumulates a float
+// or string, or writes output is the classic silent killer of
+// byte-identical artifacts.
+//
+// Recognised-safe patterns (not reported):
+//
+//   - pure reads, keyed writes to another map, and integer
+//     accumulation (integer addition is order-insensitive);
+//   - last-writer-wins assignments guarded by comparisons (min/max
+//     idioms) — plain `=` to outer variables is not reported;
+//   - collect-then-sort: appends whose target slice is passed to a
+//     sort routine (sort.*, slices.Sort*, or a helper whose name
+//     contains "sort") later in the same function.
+//
+// Everything else needs either sorted iteration or an explicit
+// //detsim:allow <reason> directive on the `for` line (or the line
+// above it).
+var MaporderAnalyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive work inside range-over-map loops\n\n" +
+		"Reports map-range loops that append to outer slices (unless the\n" +
+		"slice is sorted afterwards), accumulate floats or strings, or\n" +
+		"emit output, unless the site carries //detsim:allow <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMaporder,
+}
+
+// orderSensitiveCalls are function/method names whose invocation inside
+// a map-range body emits ordered output (writers, printers, encoders,
+// trace emitters). Receiver-typed or package-level — name match is
+// enough: these verbs mean "produce ordered bytes/events" throughout
+// this codebase.
+var orderSensitiveCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRow": true, "Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Encode": true, "Emit": true, "Record": true,
+}
+
+func runMaporder(pass *analysis.Pass) (interface{}, error) {
+	if !strings.HasPrefix(normalizePkgPath(pass.Pkg.Path()), modulePath) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildDirectiveIndex(pass)
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rng := n.(*ast.RangeStmt)
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isTestFile(pass.Fset, rng.Pos()) || allow.allowed(pass, rng.Pos()) {
+			return true
+		}
+		if reason := maporderFinding(pass, rng, stack); reason != "" {
+			pass.Reportf(rng.Pos(),
+				"maporder: map iteration order is randomised, but this loop %s — iterate in a deterministic order (collect keys, sort.Slice/slices.Sort, then index), or annotate //detsim:allow <reason> if order provably cannot reach an artifact",
+				reason)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// appendTarget identifies the destination of an append-to-outer-slice
+// inside the loop: its root variable plus the full printed expression
+// ("s", "s.Metrics", ...) so a later sort of the same expression can be
+// matched.
+type appendTarget struct {
+	root types.Object
+	expr string
+	pos  token.Pos
+}
+
+// maporderFinding returns a human-readable description of the first
+// order-sensitive construct in the loop body, or "" if the loop is
+// order-safe.
+func maporderFinding(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) string {
+	var finding string
+	var appends []appendTarget
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if finding != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			d, tgt := classifyAssign(pass, n, rng)
+			if d != "" {
+				finding = d
+				return false
+			}
+			if tgt != nil {
+				appends = append(appends, *tgt)
+			}
+		case *ast.CallExpr:
+			if name, ok := callName(n); ok && orderSensitiveCalls[name] {
+				finding = fmt.Sprintf("calls %s(...) whose output order follows map order", name)
+				return false
+			}
+		}
+		return true
+	})
+	if finding != "" {
+		return finding
+	}
+	for _, tgt := range appends {
+		if !sortedLater(pass, stack, rng, tgt) {
+			return fmt.Sprintf("appends to %q (declared outside the loop) in map order, and %q is never sorted afterwards in this function", tgt.expr, tgt.expr)
+		}
+	}
+	return ""
+}
+
+// classifyAssign classifies one assignment inside a map-range body. It
+// returns a non-empty description for an unconditionally
+// order-sensitive assignment (float/string accumulation), or an
+// appendTarget for an append-to-outer-slice whose safety depends on a
+// later sort, or (" ", nil)-equivalent zero values when
+// order-insensitive.
+func classifyAssign(pass *analysis.Pass, as *ast.AssignStmt, rng *ast.RangeStmt) (string, *appendTarget) {
+	for i, lhs := range as.Lhs {
+		root := rootIdentObj(pass, lhs)
+		if root == nil || !declaredOutside(root, rng) {
+			continue
+		}
+		switch as.Tok.String() {
+		case "=":
+			// append-to-outer-slice: x = append(x, ...) with x an
+			// identifier or field selector rooted outside the loop.
+			if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && len(call.Args) > 0 {
+					if types.ExprString(call.Args[0]) == types.ExprString(lhs) {
+						return "", &appendTarget{root: root, expr: types.ExprString(lhs), pos: as.Pos()}
+					}
+				}
+			}
+			// Plain last-writer-wins assignment: min/max idioms —
+			// deterministic when guarded, too noisy to flag.
+		case "+=":
+			t := pass.TypesInfo.TypeOf(lhs)
+			if t != nil && isFloat(t) {
+				return fmt.Sprintf("accumulates float %q with += (float addition is not associative; order changes the result)", types.ExprString(lhs)), nil
+			}
+			if t != nil && isString(t) {
+				return fmt.Sprintf("concatenates onto string %q in map order", types.ExprString(lhs)), nil
+			}
+		case "-=", "*=", "/=":
+			t := pass.TypesInfo.TypeOf(lhs)
+			if t != nil && isFloat(t) {
+				return fmt.Sprintf("accumulates float %q with %s (floating-point reduction order changes the result)", types.ExprString(lhs), as.Tok), nil
+			}
+		}
+	}
+	return "", nil
+}
+
+// sortedLater reports whether, after the range statement, the enclosing
+// function calls a sort routine on the append target
+// (sort.Strings(keys), sort.Slice(s.Metrics, ...), slices.Sort(keys),
+// sort.Sort(byX(keys)), or a helper whose name contains "sort").
+func sortedLater(pass *analysis.Pass, stack []ast.Node, rng *ast.RangeStmt, tgt appendTarget) bool {
+	var fn ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fn = stack[i]
+		}
+		if fn != nil {
+			break
+		}
+	}
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		// Does any argument (possibly via a conversion such as
+		// byX(keys)) contain the exact target expression rooted at the
+		// same variable?
+		for _, arg := range call.Args {
+			if exprMentionsTarget(pass, arg, tgt) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprMentionsTarget reports whether e contains a sub-expression that
+// prints identically to the target and is rooted at the same variable.
+func exprMentionsTarget(pass *analysis.Pass, e ast.Expr, tgt appendTarget) bool {
+	match := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if match {
+			return false
+		}
+		sub, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch sub.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if types.ExprString(sub) == tgt.expr && rootIdentObj(pass, sub) == tgt.root {
+				match = true
+				return false
+			}
+		}
+		return true
+	})
+	return match
+}
+
+// isSortCall reports whether call invokes a sorting routine: anything
+// from package sort or slices (sort.Strings, sort.Ints, sort.Slice,
+// sort.Sort, slices.Sort, slices.SortFunc, ...) or a helper whose own
+// name contains "sort".
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[f.Sel]
+	}
+	if obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "sort", "slices":
+			return true
+		}
+	}
+	name, ok := callName(call)
+	return ok && strings.Contains(strings.ToLower(name), "sort")
+}
+
+// --- small helpers -------------------------------------------------------
+
+// rootIdentObj resolves the root variable of an identifier or a
+// (possibly nested) field selector: x -> x, s.Metrics -> s,
+// a.b.c -> a. Returns nil for anything else (index expressions, calls,
+// dereferences of call results ...).
+func rootIdentObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := pass.TypesInfo.Uses[x]; o != nil {
+				if _, isVar := o.(*types.Var); isVar {
+					return o
+				}
+				return nil
+			}
+			if o := pass.TypesInfo.Defs[x]; o != nil {
+				if _, isVar := o.(*types.Var); isVar {
+					return o
+				}
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj was declared outside the range
+// statement (so writes to it survive the loop).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func callName(call *ast.CallExpr) (string, bool) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name, true
+	case *ast.SelectorExpr:
+		return f.Sel.Name, true
+	}
+	return "", false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

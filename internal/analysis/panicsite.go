@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// PanicsiteAnalyzer enforces the failure-containment classification of
+// DESIGN.md §8: in simulated-state packages, a corrupted simulation
+// invariant must surface as a structured *invariant.Violation (raised
+// via invariant.Fail/Failf/Errorf) so the runner's per-cell panic
+// containment can quarantine it; raw `panic(` is reserved for
+// programmer errors — API misuse by the caller — and every sanctioned
+// programmer-error site lives in the checked-in allowlist below.
+//
+// The allowlist is file:line-insensitive: it is keyed by enclosing
+// function ("Func" or "Type.Method") with a sanctioned site count, so
+// moving code around never churns it; only adding a *new* panic to a
+// function trips the analyzer. internal/invariant itself is exempt —
+// it is the raising mechanism.
+var PanicsiteAnalyzer = &analysis.Analyzer{
+	Name: "panicsite",
+	Doc: "require invariant.Fail* instead of raw panic in simulated-state packages\n\n" +
+		"New panics in simulated-state code must raise structured\n" +
+		"invariant violations so a corrupt cell is contained instead of\n" +
+		"killing the whole experiment grid. Sanctioned programmer-error\n" +
+		"sites are allowlisted by enclosing function (see\n" +
+		"panicsite_allowlist.go and DESIGN.md §8); anything else needs a\n" +
+		"//detsim:allow <reason> directive.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runPanicsite,
+}
+
+// panicsiteScope: the simulated-state packages plus internal/metrics
+// (its kind-mismatch panics are in the §8 table), minus
+// internal/invariant (the raising mechanism must be free to panic —
+// that is how Violations propagate).
+func panicsiteInScope(path string) bool {
+	path = normalizePkgPath(path)
+	if path == modulePath+"/internal/invariant" {
+		return false
+	}
+	return simPackages[path] || path == modulePath+"/internal/metrics"
+}
+
+func runPanicsite(pass *analysis.Pass) (interface{}, error) {
+	if !panicsiteInScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildDirectiveIndex(pass)
+	pkg := normalizePkgPath(pass.Pkg.Path())
+
+	// seen counts panic sites per enclosing function, in source order,
+	// so an allowlist entry of {F: n} sanctions exactly the first n
+	// panics in F and flags the (n+1)th — refactors inside F don't
+	// churn the list, but new panics do trip it.
+	seen := make(map[string]int)
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+			return true
+		}
+		if isTestFile(pass.Fset, call.Pos()) {
+			return true
+		}
+		fn := funcDisplayName(stack)
+		key := pkg + "." + fn
+		idx := seen[key]
+		seen[key]++
+		if idx < panicAllowlist[key] {
+			return true
+		}
+		if allow.allowed(pass, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panicsite: raw panic in simulated-state package %s (func %s) — simulated-state corruption must raise invariant.Fail/Failf/Errorf so the runner can contain it per cell; genuine programmer-error sites belong in internal/analysis/panicsite_allowlist.go (see DESIGN.md §8)",
+			pkg, fn)
+		return true
+	})
+	return nil, nil
+}

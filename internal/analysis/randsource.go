@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// forbiddenRandImports are randomness sources whose draws are not part
+// of the simulator's seeded, tagged SplitMix64 stream discipline.
+// math/rand's global state is shared and schedule-dependent; crypto/rand
+// is nondeterministic by design. Either one feeding simulated state
+// silently destroys bit-reproducibility and the chaos substream
+// carving (enable-set changes must never shift another family's
+// schedule).
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "math/rand",
+	"math/rand/v2": "math/rand/v2",
+	"crypto/rand":  "crypto/rand",
+}
+
+// RandsourceAnalyzer forbids importing math/rand, math/rand/v2, or
+// crypto/rand anywhere in the module outside internal/sim. All
+// randomness must flow through internal/sim's tagged SplitMix64
+// streams (sim.NewRand / Rand.Substream), which are derived from the
+// cell seed in fixed order.
+var RandsourceAnalyzer = &analysis.Analyzer{
+	Name: "randsource",
+	Doc: "forbid math/rand, math/rand/v2 and crypto/rand outside internal/sim\n\n" +
+		"All randomness must be drawn from internal/sim's tagged\n" +
+		"SplitMix64 streams so that per-cell seeding and chaos substream\n" +
+		"carving stay schedule-stable. An import may be exempted with a\n" +
+		"//detsim:allow <reason> directive on the import line.",
+	Run: runRandsource,
+}
+
+func runRandsource(pass *analysis.Pass) (interface{}, error) {
+	path := normalizePkgPath(pass.Pkg.Path())
+	if path == modulePath+"/internal/sim" {
+		return nil, nil // the one sanctioned randomness root
+	}
+	if !strings.HasPrefix(path, modulePath) {
+		return nil, nil // never lint dependencies
+	}
+	allow := buildDirectiveIndex(pass)
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			name, bad := forbiddenRandImports[p]
+			if !bad {
+				continue
+			}
+			if isTestFile(pass.Fset, imp.Pos()) || allow.allowed(pass, imp.Pos()) {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"randsource: import of %s outside internal/sim — draw from the cell's tagged SplitMix64 stream (sim.NewRand / Rand.Substream) so schedules stay seed-stable; //detsim:allow <reason> only for provably non-simulated code",
+				name)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,125 @@
+// Golden testdata for the maporder analyzer. The package path places
+// it in the module, which is all maporder requires — map-iteration
+// order is a hazard everywhere an artifact is produced.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Appending to an outer slice in map order, never sorted: flagged.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `maporder: map iteration order is randomised, but this loop appends to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The sorted-keys idiom: collect, sort, then index. Safe.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator also counts.
+func collectSortSlice(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Appending structs to a field of an outer variable, sorted afterwards
+// on the same expression: safe (the metrics.Snapshot pattern).
+type snapshot struct{ rows []string }
+
+func snapshotPattern(m map[string]int) snapshot {
+	var s snapshot
+	for k := range m {
+		s.rows = append(s.rows, k)
+	}
+	sort.Strings(s.rows)
+	return s
+}
+
+// Same shape without the sort: flagged.
+func snapshotUnsorted(m map[string]int) snapshot {
+	var s snapshot
+	for k := range m { // want `maporder: map iteration order is randomised, but this loop appends to "s.rows"`
+		s.rows = append(s.rows, k)
+	}
+	return s
+}
+
+// Float accumulation over map order perturbs the rounding sequence.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `maporder: map iteration order is randomised, but this loop accumulates float "sum"`
+		sum += v
+	}
+	return sum
+}
+
+// Integer accumulation is order-insensitive: safe.
+func intSum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// String concatenation in map order: flagged.
+func concat(m map[string]string) string {
+	var out string
+	for _, v := range m { // want `maporder: map iteration order is randomised, but this loop concatenates onto string "out"`
+		out += v
+	}
+	return out
+}
+
+// Emitting output inside the loop: flagged.
+func report(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `maporder: map iteration order is randomised, but this loop calls Fprintf\(...\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keyed writes to another map are order-insensitive: safe.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Guarded last-writer-wins (min/max idiom) is deterministic: safe.
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// The escape hatch.
+func annotated(m map[string]float64) float64 {
+	var sum float64
+	//detsim:allow debug-only estimate, printed to stderr and never written to an artifact
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

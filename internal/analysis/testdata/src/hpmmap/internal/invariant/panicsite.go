@@ -1,0 +1,15 @@
+// Golden testdata: hpmmap/internal/invariant is the raising mechanism
+// for structured violations — panicking is how Violations propagate —
+// so the whole package is exempt from panicsite. No diagnostics
+// expected.
+package invariant
+
+type Violation struct{ Check, Detail string }
+
+func Fail(check, detail string) {
+	panic(&Violation{Check: check, Detail: detail})
+}
+
+func rethrow(r interface{}) {
+	panic(r)
+}

@@ -1,0 +1,44 @@
+// Golden testdata for the wallclock analyzer: hpmmap/internal/kernel
+// is a simulated-state package, so every wall-clock reference below
+// must be flagged unless annotated.
+package kernel
+
+import "time"
+
+func clockReads() time.Duration {
+	start := time.Now() // want `wallclock: time.Now in simulated-state package`
+	_ = start
+	time.Sleep(time.Millisecond)  // want `wallclock: time.Sleep in simulated-state package`
+	d := time.Since(start)        // want `wallclock: time.Since in simulated-state package`
+	<-time.After(time.Second)     // want `wallclock: time.After in simulated-state package`
+	_ = time.Tick(time.Second)    // want `wallclock: time.Tick in simulated-state package`
+	_ = time.NewTicker(time.Hour) // want `wallclock: time.NewTicker in simulated-state package`
+	return d
+}
+
+// Passing the function as a value is just as nondeterministic as
+// calling it.
+func clockAsValue() func() time.Time {
+	return time.Now // want `wallclock: time.Now in simulated-state package`
+}
+
+// Duration arithmetic and parsing are plain math — never flagged.
+func durationsAreFine() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	return d + 2*time.Second
+}
+
+// The escape hatch: an allow directive with a reason suppresses the
+// finding, on the same line or the line above.
+func annotated() {
+	_ = time.Now() //detsim:allow boot-time banner only, never reaches simulated state
+	//detsim:allow boot-time banner only, never reaches simulated state
+	_ = time.Now()
+}
+
+// A directive without a reason is itself a finding (and suppresses the
+// underlying diagnostic so each site gets exactly one message).
+func annotatedWithoutReason() {
+	//detsim:allow
+	_ = time.Now() // want `detsim:allow directive requires a reason`
+}

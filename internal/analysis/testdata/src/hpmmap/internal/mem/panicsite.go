@@ -1,0 +1,59 @@
+// Golden testdata for the panicsite analyzer. hpmmap/internal/mem is a
+// simulated-state package; its sanctioned programmer-error sites
+// (DESIGN.md §8) are allowlisted by enclosing function: NewZone has 2,
+// Zone.AllocPages has 1.
+package mem
+
+import "fmt"
+
+type Zone struct{ pages uint64 }
+
+// NewZone's first two panics are the sanctioned constructor-argument
+// checks; a third panic in the same function exceeds the allowlisted
+// count and is flagged.
+func NewZone(id int, base, pages uint64) *Zone {
+	if pages == 0 {
+		panic("mem: zero-size zone")
+	}
+	if base%2 != 0 {
+		panic(fmt.Sprintf("mem: misaligned base %d", base))
+	}
+	if id < 0 {
+		panic("mem: negative id") // want `panicsite: raw panic in simulated-state package hpmmap/internal/mem \(func NewZone\)`
+	}
+	return &Zone{pages: pages}
+}
+
+// Zone.AllocPages: one sanctioned site.
+func (z *Zone) AllocPages(order int) uint64 {
+	if order < 0 {
+		panic("mem: negative order")
+	}
+	return z.pages >> uint(order)
+}
+
+// An unlisted function may not panic at all — simulated-state
+// corruption must raise invariant.Fail* instead.
+func (z *Zone) release(n uint64) {
+	if n > z.pages {
+		panic("mem: releasing more pages than owned") // want `panicsite: raw panic in simulated-state package hpmmap/internal/mem \(func Zone.release\)`
+	}
+	z.pages -= n
+}
+
+// The escape hatch still works for plumbing that re-raises recovered
+// values.
+func contain(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			//detsim:allow re-raise of a recovered foreign panic, not a new failure mode
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}

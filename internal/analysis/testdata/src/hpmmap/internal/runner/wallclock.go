@@ -1,0 +1,16 @@
+// Golden testdata: hpmmap/internal/runner is allowlisted by package —
+// wall time here annotates human-facing progress/ETA output above the
+// engines and never feeds an artifact. No diagnostics expected.
+package runner
+
+import "time"
+
+func ProgressETA(done, total int, start time.Time) time.Duration {
+	if done == 0 {
+		return 0
+	}
+	elapsed := time.Since(start)
+	return elapsed / time.Duration(done) * time.Duration(total-done)
+}
+
+func Stamp() time.Time { return time.Now() }

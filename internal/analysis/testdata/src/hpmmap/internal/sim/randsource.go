@@ -1,0 +1,11 @@
+// Golden testdata: hpmmap/internal/sim is the sanctioned randomness
+// root — the SplitMix64 streams are seeded here, and it is the one
+// package free to reference other randomness sources (e.g. in
+// documentation comparisons). No diagnostics expected.
+package sim
+
+import "math/rand"
+
+func CompareAgainstMathRand(seed int64) uint64 {
+	return rand.New(rand.NewSource(seed)).Uint64()
+}

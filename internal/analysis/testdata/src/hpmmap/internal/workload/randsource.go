@@ -1,0 +1,15 @@
+// Golden testdata for the randsource analyzer: hpmmap/internal/workload
+// is outside internal/sim, so foreign randomness imports are flagged.
+package workload
+
+import (
+	crand "crypto/rand"   // want `randsource: import of crypto/rand outside internal/sim`
+	"math/rand"           // want `randsource: import of math/rand outside internal/sim`
+	randv2 "math/rand/v2" // want `randsource: import of math/rand/v2 outside internal/sim`
+)
+
+func Draw() (uint64, uint64, error) {
+	var b [8]byte
+	_, err := crand.Read(b[:])
+	return rand.Uint64(), randv2.Uint64(), err
+}

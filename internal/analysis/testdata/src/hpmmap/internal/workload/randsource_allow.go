@@ -1,0 +1,8 @@
+package workload
+
+import (
+	insecure "math/rand" //detsim:allow one-off shuffling of a doc example, output discarded
+	_ "sort"
+)
+
+func DocShuffle(n int) int { return insecure.Intn(n) }

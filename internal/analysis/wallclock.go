@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// wallclockForbidden are the package time functions that read or wait
+// on the host clock. Referencing any of them from a simulated-state
+// package couples simulation output to wall time and breaks
+// bit-reproducibility; simulated time comes from the engine
+// (sim.Engine.Now) and nothing else. time.Duration and the time
+// constants remain fine — they are plain arithmetic.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallclockAnalyzer forbids wall-clock reads in simulation packages.
+// cmd/* binaries and internal/runner (progress/ETA reporting above the
+// engines) are allowlisted by package: wall time there annotates human
+// -facing output and never feeds an artifact.
+var WallclockAnalyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep/Tick and friends in simulation packages\n\n" +
+		"Simulated-state packages must derive all timing from the\n" +
+		"discrete-event engine. Any reference to a wall-clock function —\n" +
+		"including passing time.Now as a value — is reported unless the\n" +
+		"line carries a //detsim:allow <reason> directive.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runWallclock,
+}
+
+func runWallclock(pass *analysis.Pass) (interface{}, error) {
+	if !isSimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildDirectiveIndex(pass)
+
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return
+		}
+		if _, isFunc := obj.(*types.Func); !isFunc || !wallclockForbidden[obj.Name()] {
+			return
+		}
+		if isTestFile(pass.Fset, sel.Pos()) || allow.allowed(pass, sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"wallclock: time.%s in simulated-state package %s — simulation time must come from the engine (sim.Engine), never the host clock; use //detsim:allow <reason> only for code provably outside the simulated path",
+			obj.Name(), pass.Pkg.Path())
+	})
+	return nil, nil
+}

@@ -208,6 +208,7 @@ func (i *Injector) Attach(node *kernel.Node) {
 		return
 	}
 	if i.node != nil {
+		//detsim:allow programmer error (double Attach is harness misuse, not simulated-state corruption); postdates the DESIGN.md §8 audit table so it is annotated here instead of allowlisted
 		panic("chaos: Injector.Attach called twice — build one injector per node")
 	}
 	i.node = node

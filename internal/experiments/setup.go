@@ -325,8 +325,10 @@ func runToCompletion(ctx context.Context, eng *sim.Engine, done *bool) (err erro
 		if r := recover(); r != nil {
 			if v, ok := invariant.FromRecovered(r); ok {
 				invariant.AnnotateTime(v, eng.Now())
+				//detsim:allow re-raise of a recovered *invariant.Violation after time-stamping, not a new failure mode
 				panic(v)
 			}
+			//detsim:allow re-raise of a recovered foreign panic so the runner's containment sees it unchanged
 			panic(r)
 		}
 	}()
