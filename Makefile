@@ -35,9 +35,13 @@ lint:
 	$(GO) vet -vettool=$(abspath bin/hpmmap-vet) ./...
 
 # Allocation benchmarks for the no-op instrumentation path (must report
-# 0 B/op on BenchmarkUninstrumentedFault).
+# 0 B/op on BenchmarkUninstrumentedFault), plus the simulator-throughput
+# record: cmd/hpmmap-perf runs a reduced Fig. 7 grid bare / observed /
+# series-sampled and writes BENCH_5.json (wall-clock, cells/sec, sampler
+# overhead % — budget <= 5%) to seed the performance trajectory.
 bench:
 	$(GO) test -bench 'Fault' -benchmem ./internal/metrics/
+	$(GO) run ./cmd/hpmmap-perf -out BENCH_5.json
 
 # Quick contention-storm study (see DESIGN.md §8): chaos intensity x
 # manager with the invariant auditor attached, small scale for speed.

@@ -8,6 +8,7 @@
 //	hpmmap-bench -exp fig5            # HugeTLBfs fault timelines (Fig. 5)
 //	hpmmap-bench -exp fig7 -workers 8 # single-node weak scaling (Fig. 7)
 //	hpmmap-bench -exp fig8            # 8-node scaling study (Fig. 8)
+//	hpmmap-bench -exp attribution     # barrier noise-attribution study
 //	hpmmap-bench -exp all             # everything
 //
 // Robustness studies run instead of -exp:
@@ -40,11 +41,19 @@
 //	-trace-out <file>  write a Chrome trace-event JSON file of the run,
 //	                   loadable in Perfetto (ui.perfetto.dev) or
 //	                   chrome://tracing, timestamped by simulated cycles
+//	-series <file>     sample each cell's memory-state time series
+//	                   (commit pressure, fragmentation, free memory,
+//	                   page cache, fault/reclaim counters) at the
+//	                   scheduler-tick cadence and write them as one
+//	                   long-format CSV; the samples also appear as
+//	                   Perfetto counter tracks in -trace-out
 //
 // With -exp all, each experiment writes its own artifact with the
 // experiment name spliced into the file name (metrics.txt →
 // metrics-fig7.txt). Cells served from -cache-dir replay their cached
-// metric snapshots but contribute no trace events.
+// metric snapshots but contribute no trace events. -series bypasses the
+// result cache entirely (cached cells would replay no samples), so
+// sampled runs neither read nor write -cache-dir entries.
 package main
 
 import (
@@ -66,7 +75,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig7|fig8|noise|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig7|fig8|noise|attribution|all")
 		scale    = flag.Float64("scale", 1.0, "problem/memory scale factor (1.0 = paper size)")
 		runs     = flag.Int("runs", 0, "repetitions per cell (0 = paper default of 10)")
 		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
@@ -80,8 +89,9 @@ func main() {
 		plotH    = flag.Int("plot-height", 18, "timeline plot height")
 		outDir   = flag.String("out", "", "also write machine-readable CSVs into this directory")
 
-		metricsOut = flag.String("metrics", "", `write the experiment's merged metric snapshot to this file ("-" = stdout; .json = JSON, else text); supported by fig2-fig5, fig7, fig8`)
+		metricsOut = flag.String("metrics", "", `write the experiment's merged metric snapshot to this file ("-" = stdout; .json = JSON, else text); supported by fig2-fig5, fig7, fig8, attribution`)
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the experiment's cells")
+		seriesOut  = flag.String("series", "", "sample each cell's memory-state time series and write a long-format CSV to this file; sampling bypasses -cache-dir both ways")
 
 		studyFlag   = flag.String("study", "", "robustness study (runs instead of -exp): chaos = contention-storm sweep of chaos intensity x manager")
 		audit       = flag.Bool("audit", false, "chaos study: attach the invariant auditor to every cell's node (schedules extra events, so it changes sim_events_total)")
@@ -114,9 +124,12 @@ func main() {
 		}
 	}
 
-	observing := *metricsOut != "" || *traceOut != ""
+	observing := *metricsOut != "" || *traceOut != "" || *seriesOut != ""
 	if *traceOut != "" && cache != nil {
 		fmt.Fprintln(os.Stderr, "hpmmap-bench: note: cells served from -cache-dir replay cached metrics but contribute no trace events")
+	}
+	if *seriesOut != "" && cache != nil {
+		fmt.Fprintln(os.Stderr, "hpmmap-bench: note: -series bypasses -cache-dir (sampled cells neither read nor write cache entries)")
 	}
 	multi := *exp == "all" && *studyFlag == ""
 	// newObs creates one collector per experiment so cell indexes (and
@@ -125,7 +138,11 @@ func main() {
 		if !observing {
 			return nil
 		}
-		return runner.NewObservations(0)
+		obs := runner.NewObservations(0)
+		if *seriesOut != "" {
+			obs.EnableSeries()
+		}
+		return obs
 	}
 	writeArtifacts := func(name string, obs *runner.Observations) error {
 		if obs == nil {
@@ -138,6 +155,11 @@ func main() {
 		}
 		if *traceOut != "" {
 			if err := writeTraceFile(artifactPath(*traceOut, name, multi), obs); err != nil {
+				return err
+			}
+		}
+		if *seriesOut != "" {
+			if err := writeSeriesFile(artifactPath(*seriesOut, name, multi), obs); err != nil {
 				return err
 			}
 		}
@@ -299,6 +321,27 @@ func main() {
 		fmt.Println("=== BSP noise-amplification study (HPMMAP-managed HPCCG, synthetic detours) ===")
 		fmt.Print(experiments.WriteNoiseStudy(points))
 		return nil
+	})
+	run("attribution", func() error {
+		obs := newObs()
+		o := experiments.AttributionStudyOptions{
+			Seed: *seed, Scale: sc,
+			Workers: *workers, Context: ctx, Progress: progress,
+			Obs: obs,
+		}
+		if bs := splitList(*benches); len(bs) > 0 {
+			o.Bench = bs[0]
+		}
+		cells, err := experiments.RunAttributionStudy(o)
+		if err != nil {
+			writeArtifacts("attribution", obs) // best-effort partial flush
+			return err
+		}
+		fmt.Println("=== Barrier noise attribution (per-manager straggler decomposition) ===")
+		if err := experiments.WriteAttributionStudy(os.Stdout, cells); err != nil {
+			return err
+		}
+		return writeArtifacts("attribution", obs)
 	})
 	run("fig8", func() error {
 		obs := newObs()
@@ -462,6 +505,23 @@ func writeTraceFile(path string, obs *runner.Observations) error {
 		return err
 	}
 	if err := obs.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSeriesFile writes the collector's per-cell time-series samples as
+// one long-format CSV ("-" = stdout).
+func writeSeriesFile(path string, obs *runner.Observations) error {
+	if path == "-" {
+		return obs.WriteSeriesCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteSeriesCSV(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/fault"
+	"hpmmap/internal/runner"
 )
 
 func main() {
@@ -25,6 +27,9 @@ func main() {
 	plotH := flag.Int("plot-height", 16, "scatter height")
 	noPlot := flag.Bool("no-plot", false, "skip the timeline scatter")
 	hist := flag.String("hist", "", "also print a cost histogram for this fault kind (small|large|merge|hugetlb-large|hugetlb-small)")
+	metricsOut := flag.String("metrics", "", `write the study's merged metric snapshot to this file ("-" = stdout; .json = JSON, else text)`)
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON for both runs to this file")
+	seriesOut := flag.String("series", "", "write per-cell time-series samples as CSV to this file")
 	flag.Parse()
 
 	var kind experiments.ManagerKind
@@ -38,18 +43,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	var obs *runner.Observations
+	if *metricsOut != "" || *traceOut != "" || *seriesOut != "" {
+		obs = runner.NewObservations(0)
+		if *seriesOut != "" {
+			obs.EnableSeries()
+		}
+	}
+
 	fs, err := experiments.RunFaultStudy(experiments.FaultStudyOptions{
 		Bench: *bench,
 		Kind:  kind,
 		Ranks: *ranks,
 		Seed:  *seed,
 		Scale: experiments.Scale(*scale),
+		Obs:   obs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	experiments.WriteFaultStudy(os.Stdout, fs)
+	writeArtifacts(obs, *metricsOut, *traceOut, *seriesOut)
 
 	if !*noPlot {
 		for _, row := range fs.Rows {
@@ -98,4 +113,47 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+}
+
+// writeArtifacts flushes the study's observability outputs: the merged
+// metric snapshot (text, or JSON for .json paths; "-" = stdout), the
+// Chrome trace and the time-series CSV. No-op per artifact whose flag
+// was empty; nil obs means none were requested.
+func writeArtifacts(obs *runner.Observations, metricsOut, traceOut, seriesOut string) {
+	if obs == nil {
+		return
+	}
+	emit := func(path string, write func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		if path == "-" {
+			if err := write(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	emit(metricsOut, func(f *os.File) error {
+		snap := obs.Merged()
+		if strings.HasSuffix(metricsOut, ".json") {
+			return snap.WriteJSON(f)
+		}
+		return snap.WriteText(f)
+	})
+	emit(traceOut, func(f *os.File) error { return obs.WriteTrace(f) })
+	emit(seriesOut, func(f *os.File) error { return obs.WriteSeriesCSV(f) })
 }

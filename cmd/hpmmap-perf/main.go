@@ -1,0 +1,141 @@
+// Command hpmmap-perf measures the simulator's own performance — not
+// the simulated application's — and emits a machine-readable benchmark
+// record (BENCH_5.json by default) that seeds the repository's
+// performance trajectory. It runs a reduced Figure 7 grid twice with
+// identical seeds: once bare, once with the time-series sampler
+// attached (runner.Observations with EnableSeries), and reports
+// wall-clock, cells per second, and the sampler's relative overhead.
+// The grid runs three times: bare (no instrumentation), observed
+// (metrics + trace attached, the PR 2 layer), and sampled (series
+// sampler on top). Sampler overhead compares sampled against observed,
+// isolating the sampler from the rest of the instrumentation. The
+// budget for the sampler is <= 5% (see ISSUE 5 / OBSERVABILITY.md):
+// it piggybacks on the scheduler-tick cadence, so its cost is probe
+// reads, sample appends and counter-track trace events only.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpmmap/internal/experiments"
+	"hpmmap/internal/runner"
+)
+
+// record is the BENCH_5.json schema.
+type record struct {
+	Issue       int     `json:"issue"`
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	NumCPU      int     `json:"num_cpu"`
+	Workers     int     `json:"workers"`
+	Bench       string  `json:"bench"`
+	Scale       float64 `json:"scale"`
+	Runs        int     `json:"runs"`
+	Cores       []int   `json:"cores"`
+	Cells       int     `json:"cells"`
+
+	BareSec            float64 `json:"bare_sec"`
+	ObservedSec        float64 `json:"observed_sec"`
+	SampledSec         float64 `json:"sampled_sec"`
+	CellsPerSec        float64 `json:"cells_per_sec"`
+	ObserveOverheadPct float64 `json:"observe_overhead_pct"`
+	SamplerOverheadPct float64 `json:"sampler_overhead_pct"`
+	SeriesSamples      float64 `json:"series_samples"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "write the benchmark record to this JSON file")
+	scale := flag.Float64("scale", 0.25, "problem/memory scale for the measured grid")
+	runs := flag.Int("runs", 2, "repetitions per cell")
+	bench := flag.String("bench", "miniMD", "benchmark for the measured grid")
+	cores := flag.String("cores", "1,2", "comma-separated core counts")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	flag.Parse()
+
+	var coreCounts []int
+	for _, c := range strings.Split(*cores, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -cores entry %q\n", c)
+			os.Exit(2)
+		}
+		coreCounts = append(coreCounts, v)
+	}
+
+	opts := func(obs *runner.Observations) experiments.Fig7Options {
+		return experiments.Fig7Options{
+			Benches:    []string{*bench},
+			Profiles:   []experiments.Profile{experiments.ProfileA},
+			CoreCounts: coreCounts,
+			Runs:       *runs,
+			Scale:      experiments.Scale(*scale),
+			Workers:    *workers,
+			Context:    context.Background(),
+			Obs:        obs,
+		}
+	}
+	// Cells: 1 bench x 1 profile x 3 managers x cores x runs.
+	cells := 3 * len(coreCounts) * *runs
+
+	measure := func(obs *runner.Observations) time.Duration {
+		t0 := time.Now()
+		if _, err := experiments.Fig7(opts(obs)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return time.Since(t0)
+	}
+	bare := measure(nil)
+	observed := measure(runner.NewObservations(0))
+	obs := runner.NewObservations(0)
+	obs.EnableSeries()
+	sampled := measure(obs)
+
+	var samples float64
+	for _, m := range obs.Merged().Metrics {
+		if m.Name == "timeline_samples_total" {
+			samples = m.Value
+		}
+	}
+
+	rec := record{
+		Issue:       5,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     *workers,
+		Bench:       *bench,
+		Scale:       *scale,
+		Runs:        *runs,
+		Cores:       coreCounts,
+		Cells:       cells,
+
+		BareSec:            bare.Seconds(),
+		ObservedSec:        observed.Seconds(),
+		SampledSec:         sampled.Seconds(),
+		CellsPerSec:        float64(cells) / bare.Seconds(),
+		ObserveOverheadPct: 100 * (observed.Seconds() - bare.Seconds()) / bare.Seconds(),
+		SamplerOverheadPct: 100 * (sampled.Seconds() - observed.Seconds()) / observed.Seconds(),
+		SeriesSamples:      samples,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d cells: bare %.2fs (%.2f cells/s), observed %.2fs (+%.1f%%), sampled %.2fs (sampler +%.1f%%, %.0f samples) -> %s\n",
+		cells, rec.BareSec, rec.CellsPerSec, rec.ObservedSec, rec.ObserveOverheadPct,
+		rec.SampledSec, rec.SamplerOverheadPct, samples, *out)
+}

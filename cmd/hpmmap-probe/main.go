@@ -1,15 +1,21 @@
 // Command hpmmap-probe runs one experiment cell and dumps internal
 // diagnostics (residency mix, fault breakdown, manager counters) — a
-// calibration and debugging aid.
+// calibration and debugging aid. The observability flags attach the
+// same instrumentation the figure pipelines use: -metrics snapshots the
+// cell's registry, -trace-out writes a Chrome trace, -series samples
+// the memory-state time series.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/fault"
+	"hpmmap/internal/metrics"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/workload"
 )
 
@@ -19,6 +25,9 @@ func main() {
 	prof := flag.Int("profile", 1, "0=none 1=A 2=B")
 	ranks := flag.Int("ranks", 8, "ranks")
 	seed := flag.Uint64("seed", 1, "seed")
+	metricsOut := flag.String("metrics", "", `write the cell's metric snapshot to this file ("-" = stdout; .json = JSON, else text)`)
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON for the cell to this file")
+	seriesOut := flag.String("series", "", "write the cell's time-series samples as CSV to this file")
 	flag.Parse()
 
 	spec, ok := workload.ByName(*bench)
@@ -26,12 +35,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bad bench")
 		os.Exit(1)
 	}
+	var reg *metrics.Registry
+	var tracer *metrics.ChromeTracer
+	var series *timeline.Series
+	if *metricsOut != "" || *traceOut != "" || *seriesOut != "" {
+		reg = metrics.NewRegistry()
+		tracer = metrics.NewChromeTracer(0)
+		if *seriesOut != "" {
+			series = timeline.NewSeries()
+		}
+	}
 	out, err := experiments.ExecuteSingleNode(experiments.SingleRun{
 		Bench:   spec,
 		Kind:    experiments.ManagerKind(*kind),
 		Profile: experiments.Profile(*prof),
 		Ranks:   *ranks,
 		Seed:    *seed,
+		Metrics: reg,
+		Tracer:  tracer,
+		Series:  series,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -51,5 +73,47 @@ func main() {
 		if i >= 1 {
 			break
 		}
+	}
+
+	emit := func(path string, write func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		if path == "-" {
+			must(write(os.Stdout))
+			return
+		}
+		f, err := os.Create(path)
+		must(err)
+		must(write(f))
+		must(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if reg != nil {
+		emit(*metricsOut, func(f *os.File) error {
+			snap := reg.Snapshot()
+			if strings.HasSuffix(*metricsOut, ".json") {
+				return snap.WriteJSON(f)
+			}
+			return snap.WriteText(f)
+		})
+	}
+	if tracer != nil {
+		emit(*traceOut, func(f *os.File) error { return metrics.WriteChromeTrace(f, tracer) })
+	}
+	if series != nil {
+		emit(*seriesOut, func(f *os.File) error {
+			if _, err := fmt.Fprintln(f, timeline.SeriesCSVHeader); err != nil {
+				return err
+			}
+			return series.WriteCSV(f, "probe")
+		})
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -50,6 +50,7 @@ func main() {
 	skipFig8 := flag.Bool("skip-fig8", false, "skip the cluster sweep")
 	metricsOut := flag.String("metrics", "", `write the report's merged metric snapshot to this file ("-" = stderr-free stdout is taken by the report, so "-" is rejected; .json = JSON, else text)`)
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON per section (name spliced in: trace.json -> trace-fig2.json)")
+	seriesOut := flag.String("series", "", "write per-cell time-series samples as CSV per section (name spliced in: series.csv -> series-fig7.csv); sampling bypasses the result cache")
 	flag.Parse()
 	if *metricsOut == "-" {
 		fmt.Fprintln(os.Stderr, "hpmmap-report: -metrics - is unsupported (stdout carries the report); use a file path")
@@ -85,13 +86,22 @@ func main() {
 	// Per-section observability collectors: one per experiment so cell
 	// indexes (trace pids) never collide. Metrics merge into one file at
 	// the end; traces are written per section.
-	observing := *metricsOut != "" || *traceOut != ""
+	observing := *metricsOut != "" || *traceOut != "" || *seriesOut != ""
 	var obsSnaps []metrics.Snapshot
 	obsFor := func(name string) *runner.Observations {
 		if !observing {
 			return nil
 		}
-		return runner.NewObservations(0)
+		obs := runner.NewObservations(0)
+		if *seriesOut != "" {
+			obs.EnableSeries()
+		}
+		return obs
+	}
+	// splice turns artifact.ext into artifact-name.ext for per-section files.
+	splice := func(base, name string) string {
+		ext := filepath.Ext(base)
+		return strings.TrimSuffix(base, ext) + "-" + name + ext
 	}
 	collect := func(name string, obs *runner.Observations) {
 		if obs == nil {
@@ -99,11 +109,15 @@ func main() {
 		}
 		obsSnaps = append(obsSnaps, obs.Merged())
 		if *traceOut != "" {
-			ext := filepath.Ext(*traceOut)
-			path := strings.TrimSuffix(*traceOut, ext) + "-" + name + ext
-			f, err := os.Create(path)
+			f, err := os.Create(splice(*traceOut, name))
 			must(err)
 			must(obs.WriteTrace(f))
+			must(f.Close())
+		}
+		if *seriesOut != "" {
+			f, err := os.Create(splice(*seriesOut, name))
+			must(err)
+			must(obs.WriteSeriesCSV(f))
 			must(f.Close())
 		}
 	}
@@ -200,6 +214,19 @@ func main() {
 	fmt.Println("```")
 	fmt.Print(experiments.WriteNoiseStudy(points))
 	fmt.Println("```")
+
+	section("Barrier noise attribution (supplementary)")
+	obs = obsFor("attribution")
+	cells, err := experiments.RunAttributionStudy(experiments.AttributionStudyOptions{
+		Seed: *seed, Scale: sc,
+		Workers: *workers, Context: ctx, Progress: progress,
+		Obs: obs,
+	})
+	fail(err)
+	fmt.Println("```")
+	must(experiments.WriteAttributionStudy(os.Stdout, cells))
+	fmt.Println("```")
+	collect("attribution", obs)
 
 	must(writeMergedMetrics())
 }

@@ -29,6 +29,7 @@ import (
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/pgtable"
 	"hpmmap/internal/sim"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/vma"
 )
 
@@ -129,6 +130,12 @@ type Injector struct {
 	spikeRand, buddyRand, swapRand, pcRand, tlbRand, stragglerRand *sim.Rand
 
 	stopped bool
+
+	// accounts, when non-nil, resolves a BSP rank to its attribution
+	// account; the straggler wrapper charges injected delay as
+	// CauseChaos after all its draws, so attribution never perturbs the
+	// chaos substreams. Installed by SetAccounts.
+	accounts func(rank int) *timeline.Account
 
 	// Outstanding resources, released on their scheduled events or all
 	// at once by Stop (in insertion order, for determinism).
@@ -490,8 +497,22 @@ func (i *Injector) WrapCommDelay(inner func(iter, rank int) sim.Cycles) func(ite
 			i.m.stragglers.Inc()
 			i.m.strCycles.Observe(uint64(extra))
 		}
+		if i.accounts != nil {
+			i.accounts(rank).Charge(timeline.CauseChaos, extra)
+		}
 		return base + extra
 	}
+}
+
+// SetAccounts installs the per-rank attribution lookup used by the
+// WrapCommDelay straggler wrapper to charge injected delay to the chaos
+// cause. Safe on a nil injector; a nil lookup (the default) disables
+// chaos attribution.
+func (i *Injector) SetAccounts(fn func(rank int) *timeline.Account) {
+	if i == nil {
+		return
+	}
+	i.accounts = fn
 }
 
 // Stop halts further injection and releases everything the injector is

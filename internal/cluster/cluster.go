@@ -12,6 +12,7 @@ import (
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/sim"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/workload"
 )
 
@@ -45,7 +46,18 @@ type Cluster struct {
 	// Metric push handles, nil until Observe is called.
 	exchanges  *metrics.Counter
 	commCycles *metrics.Histogram
+
+	// accounts, when non-nil, resolves a rank to its attribution account;
+	// installed by SetAccounts, read by the CommDelay closure after the
+	// jitter draw (so attribution never perturbs the PRNG stream).
+	accounts func(rank int) *timeline.Account
 }
+
+// SetAccounts installs the per-rank attribution lookup used by CommDelay
+// to split each exchange into its nominal cost (CauseComm) and the signed
+// jitter delta (CauseCommJitter). A nil lookup (the default) disables
+// communication attribution.
+func (c *Cluster) SetAccounts(fn func(rank int) *timeline.Account) { c.accounts = fn }
 
 // Observe instruments the cluster's communication model: every off-node
 // exchange increments cluster_exchanges_total and records its jittered
@@ -155,12 +167,17 @@ func (c *Cluster) CommDelay(spec workload.AppSpec, p Placement) func(iter, rank 
 			stages++
 		}
 		sec += spec.CollectiveFactor * float64(stages) * 2 * c.Net.LatencySec
-		cycles := sim.Cycles(sec * hz)
+		nominal := sim.Cycles(sec * hz)
 		// Observe after the jitter draw: instrumentation must never
 		// perturb the PRNG stream.
-		cycles = c.rand.Jitter(cycles, c.Net.Jitter)
+		cycles := c.rand.Jitter(nominal, c.Net.Jitter)
 		c.exchanges.Inc()
 		c.commCycles.Observe(uint64(cycles))
+		if c.accounts != nil {
+			acct := c.accounts(rank)
+			acct.Charge(timeline.CauseComm, nominal)
+			acct.ChargeSigned(timeline.CauseCommJitter, int64(cycles)-int64(nominal))
+		}
 		return cycles
 	}
 }

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hpmmap/internal/metrics"
+	"hpmmap/internal/runner"
+	"hpmmap/internal/timeline"
+	"hpmmap/internal/workload"
+)
+
+// attributionReduced keeps the study small enough for the race detector:
+// the three default managers at 4 ranks, quarter scale.
+func attributionReduced(workers int) AttributionStudyOptions {
+	return AttributionStudyOptions{
+		Ranks:   4,
+		Seed:    303,
+		Scale:   0.25,
+		Workers: workers,
+	}
+}
+
+// renderAttribution runs the study with series sampling attached and
+// returns the rendered report plus the full series CSV.
+func renderAttribution(t *testing.T, workers int) (report, series string) {
+	t.Helper()
+	o := attributionReduced(workers)
+	o.Obs = runner.NewObservations(0)
+	o.Obs.EnableSeries()
+	cells, err := RunAttributionStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep strings.Builder
+	if err := WriteAttributionStudy(&rep, cells); err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := o.Obs.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return rep.String(), csv.String()
+}
+
+// TestAttributionIdenticalAcrossWorkerCounts pins the tentpole's
+// determinism contract: the rendered attribution report AND the merged
+// time-series CSV are byte-identical at Workers=1 and Workers=8,
+// because every cell's seed derives from grid coordinates and the
+// collector merges cells in index order.
+func TestAttributionIdenticalAcrossWorkerCounts(t *testing.T) {
+	rep1, csv1 := renderAttribution(t, 1)
+	rep8, csv8 := renderAttribution(t, 8)
+	if rep1 != rep8 {
+		t.Errorf("attribution report differs between Workers=1 and Workers=8:\n%s\nvs\n%s", rep1, rep8)
+	}
+	if csv1 != csv8 {
+		t.Error("series CSV differs between Workers=1 and Workers=8")
+	}
+	// Sanity: the report names the managers and the CSV carries samples.
+	for _, want := range []string{"THP", "HugeTLBfs", "HPMMAP", "barriers"} {
+		if !strings.Contains(rep1, want) {
+			t.Errorf("report missing %q:\n%s", want, rep1)
+		}
+	}
+	if lines := strings.Count(csv1, "\n"); lines < 10 {
+		t.Errorf("series CSV suspiciously short (%d lines):\n%s", lines, csv1)
+	}
+	if !strings.HasPrefix(csv1, timeline.SeriesCSVHeader+"\n") {
+		t.Errorf("series CSV missing header: %q", csv1[:min(len(csv1), 80)])
+	}
+}
+
+// TestAttributionConservation: the attributor's total barrier wait must
+// equal the bsp_barrier_wait_cycles histogram's sum exactly — both count
+// Σ over barriers of Σ over ranks of (release − arrival), one through
+// the timeline accounts and one through the workload's metrics hook.
+// Any drift means the attribution invented or lost wait cycles.
+func TestAttributionConservation(t *testing.T) {
+	spec, ok := workload.ByName("miniMD")
+	if !ok {
+		t.Fatal("miniMD not registered")
+	}
+	for _, kind := range []ManagerKind{THP, HugeTLBfs, HPMMAP} {
+		reg := metrics.NewRegistry()
+		attr := timeline.NewAttribution(2)
+		attr.Observe(reg)
+		if _, err := ExecuteSingleNode(SingleRun{
+			Bench:       spec,
+			Kind:        kind,
+			Profile:     ProfileA,
+			Ranks:       2,
+			Seed:        404,
+			Scale:       0.25,
+			Metrics:     reg,
+			Attribution: attr,
+		}); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		m, ok := reg.Snapshot().Get(metrics.BSPBarrierWaitCycles)
+		if !ok {
+			t.Fatalf("%v: no bsp_barrier_wait_cycles in snapshot", kind)
+		}
+		if attr.TotalWait() != m.Sum {
+			t.Errorf("%v: attribution total wait %d != barrier histogram sum %d",
+				kind, attr.TotalWait(), m.Sum)
+		}
+		if len(attr.Records()) == 0 {
+			t.Errorf("%v: no barriers recorded", kind)
+		}
+	}
+}
+
+// TestFig7UnchangedBySampling: attaching the time-series sampler must
+// not change any figure number — the probes piggyback on the existing
+// diagnostic ticker and draw no randomness, so the panels are
+// byte-identical with and without sampling.
+func TestFig7UnchangedBySampling(t *testing.T) {
+	small := func() Fig7Options {
+		return Fig7Options{
+			Benches:    []string{"HPCCG"},
+			Profiles:   []Profile{ProfileA},
+			CoreCounts: []int{2},
+			Runs:       1,
+			Seed:       505,
+			Scale:      0.25,
+			Workers:    4,
+		}
+	}
+	bare, err := Fig7(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := small()
+	o.Obs = runner.NewObservations(0)
+	o.Obs.EnableSeries()
+	sampled, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := asJSON(t, bare), asJSON(t, sampled)
+	if string(a) != string(b) {
+		t.Fatalf("Fig7 panels change when sampling is attached:\n%s\nvs\n%s", a, b)
+	}
+	// The sampler actually sampled: the merged snapshot carries its
+	// counter, and the CSV is non-empty.
+	if got := o.Obs.Merged().CounterValue(metrics.TimelineSamplesTotal); got == 0 {
+		t.Fatal("timeline_samples_total == 0: sampler never ran")
+	}
+	var csv strings.Builder
+	if err := o.Obs.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(csv.String()) == timeline.SeriesCSVHeader {
+		t.Fatal("series CSV empty despite sampling enabled")
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"hpmmap/internal/cluster"
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
+	"hpmmap/internal/sim"
 	"hpmmap/internal/stats"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/workload"
 )
 
@@ -44,6 +46,17 @@ type ClusterRun struct {
 	Tracer *metrics.ChromeTracer
 	// Context, when non-nil, cancels the simulation mid-run.
 	Context context.Context
+	// Series, when non-nil, samples every node's standard probe set at a
+	// quarter-second simulated cadence. Unlike the single-node path
+	// (which piggybacks on a pre-existing diagnostic ticker), the cluster
+	// rig has no such ticker, so attaching a Series schedules one extra
+	// periodic event stream — sim_events_total changes, everything else
+	// is byte-identical (the -audit precedent).
+	Series *timeline.Series
+	// Attribution, when non-nil, attributes barrier lateness per rank,
+	// including the communication model's nominal cost and signed jitter
+	// delta. Pure accounting; no events, no PRNG draws.
+	Attribution *timeline.Attribution
 }
 
 // ExecuteCluster performs one multi-node run: ranks/4 nodes, 4 app cores
@@ -71,6 +84,20 @@ func ExecuteCluster(rs ClusterRun) (RunOutcome, error) {
 	}
 	cr.cl.Observe(rs.Metrics)
 	observeEngine(rs.Metrics, cr.eng)
+	if rs.Series != nil {
+		for i, rg := range cr.rigs {
+			wireSeries(rs.Series, i, rg)
+		}
+		rs.Series.Observe(rs.Metrics, rs.Tracer)
+		sampler := cr.eng.NewTicker(sim.Cycles(cr.cl.Nodes[0].Config().ClockHz/4), func() {
+			rs.Series.Sample(uint64(cr.eng.Now()))
+		})
+		defer sampler.Stop()
+	}
+	rs.Attribution.Observe(rs.Metrics)
+	if rs.Attribution != nil {
+		cr.cl.SetAccounts(rs.Attribution.Rank)
+	}
 	// 2 ranks per NUMA zone on the 8-core Xeons: cores 0,1 (zone 0) and
 	// 4,5 (zone 1).
 	perZone := cr.cl.Nodes[0].NumCores() / cr.cl.Nodes[0].Config().NumaZones
@@ -93,11 +120,12 @@ func ExecuteCluster(rs ClusterRun) (RunOutcome, error) {
 	var res workload.Result
 	done := false
 	_, err = workload.Start(cr.eng, workload.Options{
-		Spec:      spec,
-		Ranks:     placements,
-		CommDelay: cr.cl.CommDelay(spec, placement),
-		Metrics:   rs.Metrics,
-		Tracer:    rs.Tracer,
+		Spec:        spec,
+		Ranks:       placements,
+		CommDelay:   cr.cl.CommDelay(spec, placement),
+		Metrics:     rs.Metrics,
+		Tracer:      rs.Tracer,
+		Attribution: rs.Attribution,
 	}, func(got workload.Result) {
 		res = got
 		for _, b := range builds {
@@ -236,7 +264,9 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (fig7Cell, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var cc fig7Cell
-		if o.Cache.Get(key, &cc) {
+		// Series-enabled runs bypass the cache both ways (see Fig7).
+		useCache := !o.Obs.SeriesEnabled()
+		if useCache && o.Cache.Get(key, &cc) {
 			// Pre-observability cache entries lack the snapshot:
 			// re-simulate so it can be captured (see Fig7).
 			if o.Obs == nil || len(cc.Metrics.Metrics) > 0 {
@@ -256,13 +286,16 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 			Metrics: reg,
 			Tracer:  tr,
 			Context: ctx,
+			Series:  o.Obs.Series(idx),
 		})
 		if err != nil {
 			return fig7Cell{}, err
 		}
 		cc.RuntimeSec = out.RuntimeSec
 		cc.Metrics = o.Obs.Snap(idx)
-		_ = o.Cache.Put(key, cc)
+		if useCache {
+			_ = o.Cache.Put(key, cc)
+		}
 		return cc, nil
 	})
 	if err != nil {

@@ -18,9 +18,11 @@ import (
 	"hpmmap/internal/invariant"
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/linuxmm"
+	"hpmmap/internal/mem"
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/sim"
 	"hpmmap/internal/thp"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/trace"
 	"hpmmap/internal/workload"
 )
@@ -207,6 +209,51 @@ func observeEngine(reg *metrics.Registry, eng *sim.Engine) {
 	reg.GaugeFunc(metrics.SimFinalCycles, func() float64 { return float64(eng.Now()) })
 }
 
+// wireSeries registers the standard time-series probe set for one rig's
+// node under node index idx: commit pressure, allocator pressure, free
+// bytes, the worst 2MB-order fragmentation index across zones, page-cache
+// pages, and the Linux manager's cumulative fault/reclaim tallies plus
+// khugepaged merges (cumulative counters; consumers difference adjacent
+// samples into rates). Every probe reads existing simulation state — no
+// PRNG draws, no mutations — so sampling never perturbs a run. Nil-safe
+// on a nil series.
+func wireSeries(s *timeline.Series, idx int, r *rig) {
+	if s == nil {
+		return
+	}
+	node := r.node
+	s.AddProbe(idx, "kernel_commit_pressure", node.CommitPressure)
+	s.AddProbe(idx, "mem_pressure", node.Mem.Pressure)
+	s.AddProbe(idx, "mem_free_bytes", func() float64 {
+		return float64(node.Mem.FreePages() * mem.PageSize)
+	})
+	s.AddProbe(idx, "mem_frag_index_2m", func() float64 {
+		worst := -1.0
+		for _, z := range node.Mem.Zones {
+			if f := z.FragmentationIndex(mem.LargePageOrder); f > worst {
+				worst = f
+			}
+		}
+		return worst
+	})
+	s.AddProbe(idx, "kernel_pagecache_pages", func() float64 {
+		var pages uint64
+		for z := 0; z < node.Config().NumaZones; z++ {
+			pages += node.PageCachePages(z)
+		}
+		return float64(pages)
+	})
+	if mm := r.mm; mm != nil {
+		s.AddProbe(idx, "linuxmm_small_faults_total", func() float64 { return float64(mm.SmallFaults) })
+		s.AddProbe(idx, "linuxmm_large_faults_total", func() float64 { return float64(mm.LargeFaults) })
+		s.AddProbe(idx, "linuxmm_fallback_faults_total", func() float64 { return float64(mm.FallbackFaults) })
+		s.AddProbe(idx, "linuxmm_reclaim_storms_total", func() float64 { return float64(mm.ReclaimStorms) })
+	}
+	if d := r.daemon; d != nil {
+		s.AddProbe(idx, "thp_merges_total", func() float64 { return float64(d.Merges) })
+	}
+}
+
 // launcher returns the rank launcher for this rig's HPC processes.
 func (r *rig) launcher() workload.Launcher {
 	if r.hp != nil {
@@ -382,6 +429,19 @@ type SingleRun struct {
 	// this schedules extra engine events, so sim_events_total changes —
 	// baseline figure runs leave it off.
 	Audit bool
+	// Series, when non-nil, samples the standard probe set (commit
+	// pressure, memory pressure, free bytes, fragmentation, page-cache
+	// pages, cumulative Linux-manager fault/reclaim tallies) on the run's
+	// existing quarter-second diagnostic ticker. The piggyback schedules
+	// no extra engine events and the probes draw no randomness, so a
+	// sampled run is byte-identical to an unsampled one apart from the
+	// timeline_samples_total counter the sampler itself registers.
+	Series *timeline.Series
+	// Attribution, when non-nil, installs one per-rank cause account and
+	// records a critical-path decomposition at every BSP barrier (see
+	// internal/timeline). Pure accounting on existing charges: no events,
+	// no PRNG draws, no cost-path changes.
+	Attribution *timeline.Attribution
 }
 
 // RunOutcome reports one completed run.
@@ -464,6 +524,9 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 	rs.Tracer.SetClock(mc.ClockHz)
 	rig.observe(rs.Metrics, rs.Tracer)
 	observeEngine(rs.Metrics, rig.eng)
+	wireSeries(rs.Series, 0, rig)
+	rs.Series.Observe(rs.Metrics, rs.Tracer)
+	rs.Attribution.Observe(rs.Metrics)
 	spec := scaleSpec(rs.Bench, rs.Scale)
 	cores, err := pinCores(rig.node, rs.Ranks)
 	if err != nil {
@@ -484,12 +547,16 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 		auditor.Start(rig.eng, auditPeriod(mc.ClockHz))
 		defer auditor.Stop()
 	}
-	// Sample memory pressure through the run for diagnostics.
+	// Sample memory pressure through the run for diagnostics. The series
+	// sampler piggybacks on the same ticker: one pre-existing event per
+	// quarter simulated second, so attaching a Series never adds engine
+	// events or perturbs event ordering.
 	var psum float64
 	var pn int
 	sampler := rig.eng.NewTicker(sim.Cycles(rig.node.Config().ClockHz/4), func() {
 		psum += rig.node.Mem.Pressure()
 		pn++
+		rs.Series.Sample(uint64(rig.eng.Now()))
 	})
 	defer sampler.Stop()
 	var placements []workload.RankPlacement
@@ -499,17 +566,21 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 	var res workload.Result
 	done := false
 	wopts := workload.Options{
-		Spec:     spec,
-		Ranks:    placements,
-		Recorder: rs.Recorder,
-		Metrics:  rs.Metrics,
-		Tracer:   rs.Tracer,
+		Spec:        spec,
+		Ranks:       placements,
+		Recorder:    rs.Recorder,
+		Metrics:     rs.Metrics,
+		Tracer:      rs.Tracer,
+		Attribution: rs.Attribution,
 	}
 	if rs.Chaos != nil {
 		// Straggler injection rides the communication phase; single-node
 		// runs have no inner comm-delay model, so the wrapper decorates
 		// a zero base.
 		wopts.CommDelay = rs.Chaos.WrapCommDelay(nil)
+		if rs.Attribution != nil {
+			rs.Chaos.SetAccounts(rs.Attribution.Rank)
+		}
 	}
 	_, err = workload.Start(rig.eng, wopts, func(got workload.Result) {
 		res = got

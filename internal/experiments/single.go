@@ -161,7 +161,13 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (fig7Cell, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var cc fig7Cell
-		if o.Cache.Get(key, &cc) {
+		// Series-enabled runs bypass the cache both ways: a cached cell
+		// would replay no samples, and a freshly sampled cell's snapshot
+		// (which carries timeline_samples_total) must never overwrite a
+		// baseline entry — either would break byte-identity between
+		// sampled/unsampled and cold/warm runs.
+		useCache := !o.Obs.SeriesEnabled()
+		if useCache && o.Cache.Get(key, &cc) {
 			// A cached cell from before observability was enabled has no
 			// snapshot; re-simulate it so the metrics can be captured.
 			if o.Obs == nil || len(cc.Metrics.Metrics) > 0 {
@@ -181,6 +187,7 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 			Metrics: reg,
 			Tracer:  tr,
 			Context: ctx,
+			Series:  o.Obs.Series(idx),
 		})
 		if err != nil {
 			return fig7Cell{}, err
@@ -190,8 +197,10 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 			cc.Faults += rr.Faults.TotalFaults()
 		}
 		cc.Metrics = o.Obs.Snap(idx)
-		// A failed Put only costs a future re-simulation.
-		_ = o.Cache.Put(key, cc)
+		if useCache {
+			// A failed Put only costs a future re-simulation.
+			_ = o.Cache.Put(key, cc)
+		}
 		return cc, nil
 	})
 	if err != nil {

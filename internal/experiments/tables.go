@@ -117,6 +117,7 @@ func faultStudies(o FaultStudyOptions, benches []string) ([]FaultStudy, error) {
 			Metrics:  reg,
 			Tracer:   tr,
 			Context:  ctx,
+			Series:   o.Obs.Series(idx),
 		})
 		if err != nil {
 			return studyCell{}, err

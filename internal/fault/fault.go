@@ -238,16 +238,26 @@ func (c CostParams) HugeTLBLargeFault(r *sim.Rand, load Load) sim.Cycles {
 // probability rising in pressure the fault performs direct reclaim with a
 // heavy-tailed stall.
 func (c CostParams) HugeTLBSmallFault(r *sim.Rand, load Load) (sim.Cycles, bool) {
-	cost := c.SmallFault(r, load)
+	svc, stall, stalled := c.HugeTLBSmallFaultParts(r, load)
+	return svc + stall, stalled
+}
+
+// HugeTLBSmallFaultParts is HugeTLBSmallFault with the service cost and
+// the reclaim stall returned separately, for callers that attribute the
+// stall to a different cause than the fault itself. Draw order is
+// identical to HugeTLBSmallFault (which delegates here), so switching
+// between the two never perturbs the random stream.
+func (c CostParams) HugeTLBSmallFaultParts(r *sim.Rand, load Load) (svc, stall sim.Cycles, stalled bool) {
+	svc = c.SmallFault(r, load)
 	if p := c.reclaimProb(load.MemPressure); p > 0 && r.Bool(p) {
-		stall := r.Pareto(c.ReclaimParetoXm, c.ReclaimParetoAlpha)
-		stall *= 1 + c.BandwidthContention*load.BandwidthLoad
-		if stall > c.ReclaimCap {
-			stall = c.ReclaimCap
+		s := r.Pareto(c.ReclaimParetoXm, c.ReclaimParetoAlpha)
+		s *= 1 + c.BandwidthContention*load.BandwidthLoad
+		if s > c.ReclaimCap {
+			s = c.ReclaimCap
 		}
-		return cost + sim.Cycles(stall), true
+		return svc, sim.Cycles(s), true
 	}
-	return cost, false
+	return svc, 0, false
 }
 
 // DirectReclaim returns a heavy-tailed direct reclaim stall for the

@@ -7,6 +7,7 @@ import (
 	"hpmmap/internal/mem"
 	"hpmmap/internal/pgtable"
 	"hpmmap/internal/sim"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/vma"
 )
 
@@ -246,28 +247,45 @@ func (n *Node) NewTask(p *Process, pinned int, bwWeight float64) *Task {
 
 // --- System-call surface -------------------------------------------------
 
+// chargeSyscall attributes one successful MM system call's full cost
+// (manager work — for HPMMAP that includes the eager on-request backing
+// — plus the trap) to the process's attribution account. Nil-safe.
+func chargeSyscall(p *Process, c sim.Cycles, err error) {
+	if err == nil {
+		p.Account.Charge(timeline.CauseSyscall, c)
+	}
+}
+
 // Mmap allocates an anonymous mapping for p.
 func (n *Node) Mmap(p *Process, length uint64, prot pgtable.Prot, kind vma.Kind) (pgtable.VirtAddr, sim.Cycles, error) {
 	addr, c, err := n.mmFor(p).Mmap(p, length, prot, kind)
-	return addr, c + sim.Cycles(n.cfg.SyscallCost), err
+	c += sim.Cycles(n.cfg.SyscallCost)
+	chargeSyscall(p, c, err)
+	return addr, c, err
 }
 
 // Munmap removes a mapping.
 func (n *Node) Munmap(p *Process, addr pgtable.VirtAddr, length uint64) (sim.Cycles, error) {
 	c, err := n.mmFor(p).Munmap(p, addr, length)
-	return c + sim.Cycles(n.cfg.SyscallCost), err
+	c += sim.Cycles(n.cfg.SyscallCost)
+	chargeSyscall(p, c, err)
+	return c, err
 }
 
 // Brk adjusts the heap.
 func (n *Node) Brk(p *Process, newBrk pgtable.VirtAddr) (pgtable.VirtAddr, sim.Cycles, error) {
 	b, c, err := n.mmFor(p).Brk(p, newBrk)
-	return b, c + sim.Cycles(n.cfg.SyscallCost), err
+	c += sim.Cycles(n.cfg.SyscallCost)
+	chargeSyscall(p, c, err)
+	return b, c, err
 }
 
 // Mprotect changes protections.
 func (n *Node) Mprotect(p *Process, addr pgtable.VirtAddr, length uint64, prot pgtable.Prot) (sim.Cycles, error) {
 	c, err := n.mmFor(p).Mprotect(p, addr, length, prot)
-	return c + sim.Cycles(n.cfg.SyscallCost), err
+	c += sim.Cycles(n.cfg.SyscallCost)
+	chargeSyscall(p, c, err)
+	return c, err
 }
 
 // TouchRange drives first-touch accesses over a range through the fault

@@ -6,6 +6,7 @@ import (
 	"hpmmap/internal/fault"
 	"hpmmap/internal/pgtable"
 	"hpmmap/internal/sim"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/trace"
 	"hpmmap/internal/vma"
 )
@@ -51,6 +52,14 @@ type Process struct {
 	// Recorder, when non-nil, captures per-fault records (micro-level
 	// experiments: Figures 2–5).
 	Recorder *trace.Recorder
+
+	// Account, when non-nil, receives per-cause cycle charges (fault
+	// kinds here; reclaim-storm and mlock-split reattribution in the
+	// manager layers; syscall, scheduler, communication and chaos
+	// charges at their own sites) for barrier critical-path attribution.
+	// Installed by the workload layer when a run attaches a
+	// timeline.Attribution; nil is the no-op default.
+	Account *timeline.Account
 
 	// mmState lets the owning memory manager stash per-process state.
 	mmState any
@@ -101,6 +110,7 @@ func (p *Process) RecordFault(at sim.Cycles, k fault.Kind, cost sim.Cycles, va p
 	if p.Recorder != nil {
 		p.Recorder.Record(fault.Record{At: at, Cost: cost, Kind: k, PID: p.PID, VA: uint64(va), Stalls: stalled})
 	}
+	p.Account.Charge(timeline.FaultCause(k), cost)
 	if o := p.node.obs; o != nil {
 		o.observeFault(p, at, k, cost, stalled)
 	}
@@ -114,6 +124,7 @@ func (p *Process) RecordFault(at sim.Cycles, k fault.Kind, cost sim.Cycles, va p
 func (p *Process) RecordFaultBulk(k fault.Kind, n uint64, total sim.Cycles) {
 	p.Faults.Faults[k] += n
 	p.Faults.Cycles[k] += total
+	p.Account.Charge(timeline.FaultCause(k), total)
 	if o := p.node.obs; o != nil {
 		o.observeFaultBulk(p, n, total)
 	}

@@ -5,6 +5,7 @@ import (
 	"hpmmap/internal/mem"
 	"hpmmap/internal/pgtable"
 	"hpmmap/internal/sim"
+	"hpmmap/internal/timeline"
 )
 
 // MlockAll pins the process's entire resident set in RAM (the mlockall
@@ -63,5 +64,10 @@ func (m *Manager) MlockAll(p *kernel.Process) (sim.Cycles, error) {
 	for _, v := range p.Space.VMAs() {
 		v.Locked = true
 	}
-	return sim.Cycles(m.rand.Jitter(sim.Cycles(2000+cost), 0.1)), nil
+	total := sim.Cycles(m.rand.Jitter(sim.Cycles(2000+cost), 0.1))
+	// The split work dominates the call; attribute the whole pinned cost
+	// to the mlock-split cause (MlockAll has no node syscall wrapper, so
+	// nothing else charges it).
+	p.Account.Charge(timeline.CauseMlockSplit, total)
+	return total, nil
 }

@@ -9,6 +9,7 @@ import (
 	"hpmmap/internal/mem"
 	"hpmmap/internal/pgtable"
 	"hpmmap/internal/sim"
+	"hpmmap/internal/timeline"
 )
 
 // maxSmallBlockOrder caps the batch size used to back 4KB-mapped memory.
@@ -302,6 +303,10 @@ func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 				kind = fault.KindHugeTLBSmall
 			}
 			tc.charge(m, kind, storm+m.costs().SmallFault(m.rand, tc.load), va, true)
+			// The fault-kind charge above includes the reclaim stall; move
+			// that share to the reclaim-storm cause so attribution separates
+			// "slow fault path" from "stalled behind reclaim".
+			p.Account.Reattribute(timeline.FaultCause(kind), timeline.CauseReclaimStorm, storm)
 			storms++
 			if need > 0 {
 				need-- // the storm fault itself materialized one page
@@ -358,14 +363,17 @@ func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 		// Micro fidelity: draw each fault, map each PTE.
 		for i := uint64(0); i < pages; i++ {
 			pva := va + pgtable.VirtAddr(i*mem.PageSize)
-			var cost sim.Cycles
+			var cost, stall sim.Cycles
 			stalled := false
 			if kind == fault.KindHugeTLBSmall {
-				cost, stalled = m.costs().HugeTLBSmallFault(m.rand, tc.load)
+				var svc sim.Cycles
+				svc, stall, stalled = m.costs().HugeTLBSmallFaultParts(m.rand, tc.load)
+				cost = svc + stall
 			} else {
 				cost = m.costs().SmallFault(m.rand, tc.load)
 			}
 			tc.charge(m, kind, cost, pva, stalled)
+			p.Account.Reattribute(timeline.FaultCause(kind), timeline.CauseReclaimStorm, stall)
 			m.mapSmallDetail(p, pva, r)
 		}
 		return
@@ -385,6 +393,7 @@ func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 				m.node.DirectReclaim(tc.p.PreferredZone, smallBatchOrder)
 				storm := m.costs().DirectReclaim(m.rand, tc.load)
 				tc.charge(m, kind, storm+m.costs().SmallFault(m.rand, tc.load), va, true)
+				tc.p.Account.Reattribute(timeline.FaultCause(kind), timeline.CauseReclaimStorm, storm)
 				m.ReclaimStorms++
 				if !tc.p.Commodity {
 					m.StormsHPC++

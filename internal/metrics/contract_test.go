@@ -176,3 +176,55 @@ func TestConstantNamesFollowScheme(t *testing.T) {
 		}
 	}
 }
+
+// docMergeMaxRows returns the set of metric names whose OBSERVABILITY.md
+// table row carries the "(merge: max)" annotation.
+func docMergeMaxRows(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("read OBSERVABILITY.md: %v", err)
+	}
+	out := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		m := docTableRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if strings.Contains(line, "(merge: max)") {
+			out[m[1]] = true
+		}
+	}
+	return out
+}
+
+// TestGaugeMergeModesMatchDoc: the merge-mode map, the doc annotation
+// and the table's kind column agree. Every MergeMax gauge must carry
+// "(merge: max)" in its doc row (and be documented as a gauge — merge
+// modes are a gauge-only concept), and every annotated row must be in
+// the map; a drift in either direction fails with the missing leg.
+func TestGaugeMergeModesMatchDoc(t *testing.T) {
+	rows := docMetricRows(t)
+	annotated := docMergeMaxRows(t)
+	for name, mode := range GaugeMergeModes {
+		if mode != MergeMax {
+			continue
+		}
+		kind, ok := rows[name]
+		if !ok {
+			t.Errorf("GaugeMergeModes tags %q but OBSERVABILITY.md has no table row for it", name)
+			continue
+		}
+		if kind != "gauge" {
+			t.Errorf("GaugeMergeModes tags %q but the doc documents it as a %s (merge modes apply to gauges only)", name, kind)
+		}
+		if !annotated[name] {
+			t.Errorf("GaugeMergeModes tags %q MergeMax but its OBSERVABILITY.md row lacks the \"(merge: max)\" annotation", name)
+		}
+	}
+	for name := range annotated {
+		if GaugeMergeModes[name] != MergeMax {
+			t.Errorf("OBSERVABILITY.md annotates %q \"(merge: max)\" but GaugeMergeModes does not tag it", name)
+		}
+	}
+}

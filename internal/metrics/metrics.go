@@ -153,6 +153,34 @@ const (
 	KindHistogram Kind = "histogram"
 )
 
+// MergeMode selects how Merge folds one gauge across cell snapshots.
+// Counters and histograms always sum; most gauges in this simulator are
+// additive quantities (bytes, pages) and sum too, but ratio- and
+// pressure-style gauges sum into nonsense — those take the max (the
+// worst cell), which is the reading a capacity question actually wants.
+type MergeMode string
+
+// Gauge merge modes. The empty string is the additive default, so the
+// field is omitted from JSON snapshots for the common case (and old
+// cached snapshots, which predate the field, fall back to
+// GaugeMergeModes by name).
+const (
+	MergeSum MergeMode = ""
+	MergeMax MergeMode = "max"
+)
+
+// GaugeMergeModes is the canonical name → merge-mode table for gauges
+// with a non-default mode. It is the source of truth at Snapshot time
+// (the mode is stamped into the metric) and the fallback at Merge time
+// for snapshots cached before the field existed. The OBSERVABILITY.md
+// metric table annotates these rows with "merge: max"; the contract
+// test cross-checks the two.
+var GaugeMergeModes = map[string]MergeMode{
+	BuddyFragRatio:       MergeMax,
+	KernelCommitPressure: MergeMax,
+	SimFinalCycles:       MergeMax,
+}
+
 // entry is one registered metric with its push handle and any pull
 // sources registered under the same name.
 type entry struct {
@@ -296,6 +324,9 @@ type Metric struct {
 	Count   uint64   `json:"count,omitempty"`
 	Sum     uint64   `json:"sum,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// MergeMode records how Merge folds this gauge across cells
+	// (omitted for the additive default; see GaugeMergeModes).
+	MergeMode MergeMode `json:"merge,omitempty"`
 }
 
 // Snapshot is an immutable, JSON-serializable capture of a registry,
@@ -326,6 +357,7 @@ func (r *Registry) Snapshot() Snapshot {
 				v += fn()
 			}
 			m.Value = v
+			m.MergeMode = GaugeMergeModes[e.name]
 		case KindHistogram:
 			m.Count = e.hist.Count()
 			m.Sum = e.hist.Sum()
@@ -363,17 +395,26 @@ func (s Snapshot) CounterValue(name string) uint64 {
 	return uint64(m.Value)
 }
 
-// Merge combines snapshots metric-by-metric: counter and gauge values
-// sum (gauges in this simulator are additive quantities — bytes, pages
-// — so summing across cells is the meaningful reduction; ratios in a
-// merged view should be read per cell instead), histogram counts and
-// buckets sum. The result is sorted by name.
+// Merge combines snapshots metric-by-metric: counter values, histogram
+// counts/sums/buckets always sum, and gauges fold per their MergeMode —
+// additive gauges (bytes, pages) sum, ratio/pressure gauges tagged
+// MergeMax in GaugeMergeModes take the maximum across cells (summing
+// buddy_fragmentation_ratio over 96 cells is meaningless; the worst
+// cell is the meaningful reduction). Snapshots cached before the
+// MergeMode field existed resolve their mode from GaugeMergeModes by
+// name, so old cache entries merge with the same semantics as fresh
+// ones. The result is sorted by name and carries the resolved mode, so
+// merged output is byte-identical whether inputs were stamped or not.
 func Merge(snaps ...Snapshot) Snapshot {
 	acc := make(map[string]*Metric)
 	bkts := make(map[string]*[NumBuckets]uint64)
 	var order []string
 	for _, s := range snaps {
 		for _, m := range s.Metrics {
+			mode := m.MergeMode
+			if m.Kind == KindGauge && mode == MergeSum {
+				mode = GaugeMergeModes[m.Name]
+			}
 			a, ok := acc[m.Name]
 			if !ok {
 				cp := m
@@ -385,8 +426,15 @@ func Merge(snaps ...Snapshot) Snapshot {
 				a.Value = 0
 				a.Count = 0
 				a.Sum = 0
+				a.MergeMode = mode
 			}
-			a.Value += m.Value
+			if m.Kind == KindGauge && mode == MergeMax {
+				if m.Value > a.Value {
+					a.Value = m.Value
+				}
+			} else {
+				a.Value += m.Value
+			}
 			a.Count += m.Count
 			a.Sum += m.Sum
 			b := bkts[m.Name]

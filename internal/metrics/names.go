@@ -95,9 +95,14 @@ const (
 	HPMMAPBrkCallsTotal      = "hpmmap_brk_calls_total"
 	HPMMAPBytesMapped        = "hpmmap_bytes_mapped"
 
-	// bsp_* — the bulk-synchronous-parallel workload model.
-	BSPBarriersTotal     = "bsp_barriers_total"
-	BSPBarrierWaitCycles = "bsp_barrier_wait_cycles"
+	// bsp_* — the bulk-synchronous-parallel workload model. The
+	// straggler metrics appear only when a run attaches a
+	// timeline.Attribution (barrier critical-path attributor), so
+	// baseline figure snapshots are unchanged.
+	BSPBarriersTotal           = "bsp_barriers_total"
+	BSPBarrierWaitCycles       = "bsp_barrier_wait_cycles"
+	BSPStragglersTotal         = "bsp_stragglers_total"
+	BSPStragglerLatenessCycles = "bsp_straggler_lateness_cycles"
 
 	// cluster_* — the multi-node exchange model.
 	ClusterExchangesTotal = "cluster_exchanges_total"
@@ -134,4 +139,8 @@ const (
 	RunnerCacheCorruptTotal = "runner_cache_corrupt_total"
 	RunnerCellsFailedTotal  = "runner_cells_failed_total"
 	RunnerCellRetriesTotal  = "runner_cell_retries_total"
+
+	// timeline_* — the deterministic time-series sampler
+	// (internal/timeline). Present only when a run attaches a Series.
+	TimelineSamplesTotal = "timeline_samples_total"
 )

@@ -1,11 +1,13 @@
 package runner
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"sync"
 
 	"hpmmap/internal/metrics"
+	"hpmmap/internal/timeline"
 )
 
 // Observations collects per-cell metric registries and Chrome tracers
@@ -24,6 +26,10 @@ type Observations struct {
 	clockHz float64
 	cells   map[int]*cellObs
 
+	// seriesOn marks that per-cell time-series samplers were requested
+	// (EnableSeries); Series then returns a live sampler per cell.
+	seriesOn bool
+
 	// plan holds plan-level (not per-cell) metric sources: the runner's
 	// own failure/retry counters and the result cache's corruption
 	// tally. Folded into Merged exactly once, after the cells.
@@ -36,6 +42,8 @@ type cellObs struct {
 	tracer  *metrics.ChromeTracer
 	snap    metrics.Snapshot
 	hasSnap bool
+	label   string
+	series  *timeline.Series
 }
 
 // NewObservations creates a collector. clockHz converts simulated cycles
@@ -58,14 +66,86 @@ func (o *Observations) Cell(idx int, label string) (*metrics.Registry, *metrics.
 	defer o.mu.Unlock()
 	c := o.cells[idx]
 	if c == nil {
-		c = &cellObs{reg: metrics.NewRegistry(), tracer: metrics.NewChromeTracer(idx)}
+		c = &cellObs{reg: metrics.NewRegistry(), tracer: metrics.NewChromeTracer(idx), label: label}
 		if o.clockHz > 0 {
 			c.tracer.SetClock(o.clockHz)
 		}
 		c.tracer.SetProcessName(label)
+		if o.seriesOn {
+			c.series = timeline.NewSeries()
+		}
 		o.cells[idx] = c
 	}
 	return c.reg, c.tracer
+}
+
+// EnableSeries requests a per-cell time-series sampler: every cell
+// created by Cell afterwards carries a timeline.Series, retrievable via
+// Series and rendered by WriteSeriesCSV. Call before the plan runs. Safe
+// on a nil receiver.
+func (o *Observations) EnableSeries() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.seriesOn = true
+	o.mu.Unlock()
+}
+
+// SeriesEnabled reports whether EnableSeries was called (false on a nil
+// receiver). Figure pipelines use this to bypass the result cache:
+// cached cells replay no samples, and freshly sampled cells must not
+// overwrite baseline cache entries (their snapshots carry the sampler's
+// own counter).
+func (o *Observations) SeriesEnabled() bool {
+	if o == nil {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.seriesOn
+}
+
+// Series returns the cell's sampler, or nil when series collection is
+// off, the cell was never created via Cell, or the receiver is nil — a
+// nil *timeline.Series is the no-op sampler, so callers pass the result
+// straight into the experiment options.
+func (o *Observations) Series(idx int) *timeline.Series {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.cells[idx]
+	if c == nil {
+		return nil
+	}
+	return c.series
+}
+
+// WriteSeriesCSV writes every cell's samples as one long-format CSV
+// (header row, then cells in ascending index order; each cell's rows are
+// labelled with its trace label). Deterministic at any worker count.
+// Safe on a nil receiver (writes only the header).
+func (o *Observations) WriteSeriesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, timeline.SeriesCSVHeader); err != nil {
+		return err
+	}
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, i := range o.indexes() {
+		c := o.cells[i]
+		if c.series == nil {
+			continue
+		}
+		if err := c.series.WriteCSV(w, c.label); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Snap captures and stores the cell's registry snapshot, returning it so

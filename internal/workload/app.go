@@ -7,6 +7,7 @@ import (
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/pgtable"
 	"hpmmap/internal/sim"
+	"hpmmap/internal/timeline"
 	"hpmmap/internal/trace"
 	"hpmmap/internal/vma"
 )
@@ -43,6 +44,13 @@ type Options struct {
 	// per iteration (thread id = the rank's PID) and names the rank
 	// threads. Nil disables tracing.
 	Tracer *metrics.ChromeTracer
+	// Attribution, when non-nil, installs one timeline.Account per rank
+	// (threaded to every charge site via Process.Account) and records a
+	// critical-path decomposition at every barrier release. With a Tracer
+	// also attached, each non-balanced barrier emits an instant event on
+	// the straggler's thread naming the dominant cause. Nil disables
+	// attribution entirely.
+	Attribution *timeline.Attribution
 }
 
 // RankResult reports one rank's execution.
@@ -70,6 +78,7 @@ type App struct {
 	barrierGen   int
 	waiting      []func()
 	waitingAt    []sim.Cycles // arrival time of each waiter, for barrier wait metrics
+	waitingRank  []int        // rank index of each waiter, in arrival order (attribution)
 
 	// Metric push handles; nil when Options.Metrics is nil.
 	barriers    *metrics.Counter
@@ -131,6 +140,9 @@ func Start(eng *sim.Engine, opts Options, onDone func(Result)) (*App, error) {
 		if i == 0 && opts.Recorder != nil {
 			p.Recorder = opts.Recorder
 		}
+		// Rank returns nil when attribution is off or the rank is out of
+		// range; a nil Account makes every downstream charge a no-op.
+		p.Account = opts.Attribution.Rank(i)
 		r.t = pl.Node.NewTask(p, pl.Core, opts.Spec.BandwidthWeight)
 		opts.Tracer.SetThreadName(p.PID, fmt.Sprintf("rank%d", i))
 		a.ranks = append(a.ranks, r)
@@ -164,26 +176,38 @@ func (a *App) finish() {
 	}
 }
 
-// barrier blocks the rank until all ranks arrive, then releases everyone.
-func (a *App) barrier(fn func()) {
+// barrier blocks rank r until all ranks arrive, then releases everyone.
+func (a *App) barrier(r *rankState, fn func()) {
 	a.waiting = append(a.waiting, fn)
 	a.waitingAt = append(a.waitingAt, a.eng.Now())
+	a.waitingRank = append(a.waitingRank, r.idx)
 	a.barrierCount++
 	if a.barrierCount < len(a.ranks)-a.done {
 		return
 	}
 	ws := a.waiting
+	now := a.eng.Now()
 	if a.barrierWait != nil {
 		// The last arrival releases the barrier: each waiter's wait is
 		// the gap between its arrival and now.
-		now := a.eng.Now()
 		for _, at := range a.waitingAt {
 			a.barrierWait.Observe(uint64(now - at))
 		}
 		a.barriers.Inc()
 	}
+	if attr := a.opts.Attribution; attr != nil {
+		rec := attr.RecordBarrier(now, a.waitingRank, a.waitingAt)
+		if tr := a.opts.Tracer; tr != nil && rec.Lateness > 0 {
+			name := "straggler:(balanced)"
+			if dom, ok := rec.DominantCause(); ok {
+				name = "straggler:" + dom.String()
+			}
+			tr.Instant(a.ranks[rec.Straggler].p.PID, "bsp", name, uint64(now))
+		}
+	}
 	a.waiting = nil
 	a.waitingAt = a.waitingAt[:0]
+	a.waitingRank = a.waitingRank[:0]
 	a.barrierCount = 0
 	a.barrierGen++
 	for _, w := range ws {
@@ -266,7 +290,7 @@ func (r *rankState) setup() {
 	spec := r.app.opts.Spec
 	if r.setupStep >= spec.SetupSteps {
 		r.iter = 0
-		r.app.barrier(func() { r.iterate() })
+		r.app.barrier(r, func() { r.iterate() })
 		return
 	}
 	r.setupStep++
@@ -312,7 +336,20 @@ func (r *rankState) setup() {
 	cpu := sim.Cycles(uint64(spec.ComputePerIter) / uint64(spec.SetupSteps) / 2)
 	stall := r.stall
 	r.stall = 0
-	r.node.Run(r.t, cpu, stall, func(sim.Cycles) { r.setup() })
+	r.node.Run(r.t, cpu, stall, func(el sim.Cycles) {
+		r.chargeSched(el, cpu, stall)
+		r.setup()
+	})
+}
+
+// chargeSched attributes the scheduler-inflicted share of one Run segment
+// — elapsed time beyond the rank's own cpu work and already-attributed
+// stall (CPU fair-sharing with co-runners plus context switches) — to the
+// sched cause. No-op without an account.
+func (r *rankState) chargeSched(elapsed, cpu, stall sim.Cycles) {
+	if elapsed > cpu+stall {
+		r.p.Account.Charge(timeline.CauseSched, elapsed-cpu-stall)
+	}
 }
 
 // growHeap extends the heap to target bytes in BrkStep increments.
@@ -418,7 +455,7 @@ func (r *rankState) iterate() {
 		if left == 0 {
 			end := func() {
 				r.traceIter()
-				r.app.barrier(func() { r.iterate() })
+				r.app.barrier(r, func() { r.iterate() })
 			}
 			if d := r.commDelay(); d > 0 {
 				r.node.Sleep(r.t, d, end)
@@ -427,7 +464,11 @@ func (r *rankState) iterate() {
 			end()
 			return
 		}
-		r.node.Run(r.t, cpu/chunks, carry, func(sim.Cycles) { step(left-1, 0) })
+		chunkCarry := carry
+		r.node.Run(r.t, cpu/chunks, chunkCarry, func(el sim.Cycles) {
+			r.chargeSched(el, cpu/chunks, chunkCarry)
+			step(left-1, 0)
+		})
 	}
 	step(chunks, stall)
 }
