@@ -34,14 +34,22 @@ lint:
 	$(GO) build -o bin/hpmmap-vet ./cmd/hpmmap-vet
 	$(GO) vet -vettool=$(abspath bin/hpmmap-vet) ./...
 
-# Allocation benchmarks for the no-op instrumentation path (must report
-# 0 B/op on BenchmarkUninstrumentedFault), plus the simulator-throughput
-# record: cmd/hpmmap-perf runs a reduced Fig. 7 grid bare / observed /
-# series-sampled and writes BENCH_5.json (wall-clock, cells/sec, sampler
-# overhead % — budget <= 5%) to seed the performance trajectory.
+# Performance gate (see DESIGN.md §10). Three layers:
+#  1. allocation benchmarks for the no-op instrumentation path (must
+#     report 0 B/op on BenchmarkUninstrumentedFault);
+#  2. hot-path microbenchmarks of the touch/allocation cycle (demand
+#     THP, HugeTLBfs, gated 4K backing, HPMMAP pool) with -benchmem so
+#     per-op allocation creep is visible in the log;
+#  3. the simulator-throughput record: cmd/hpmmap-perf runs a reduced
+#     Fig. 7 grid bare / observed / series-sampled, compares cells/sec
+#     against the committed BENCH_6.json (read before it is rewritten)
+#     and FAILS on a >10% regression, then refreshes the record.
 bench:
 	$(GO) test -bench 'Fault' -benchmem ./internal/metrics/
-	$(GO) run ./cmd/hpmmap-perf -out BENCH_5.json
+	$(GO) test -run xxx -bench 'TouchDemand|TouchHugetlb|GatedAlloc' -benchmem ./internal/linuxmm/
+	$(GO) test -run xxx -bench 'HPMMAPTouchRange' -benchmem ./internal/core/
+	$(GO) run ./cmd/hpmmap-perf -out BENCH_6.json -baseline BENCH_6.json -regress-pct 10 \
+		-cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof
 
 # Quick contention-storm study (see DESIGN.md §8): chaos intensity x
 # manager with the invariant auditor attached, small scale for speed.

@@ -47,6 +47,9 @@
 //	                   scheduler-tick cadence and write them as one
 //	                   long-format CSV; the samples also appear as
 //	                   Perfetto counter tracks in -trace-out
+//	-cpuprofile <file> write a pprof CPU profile of the invocation
+//	-memprofile <file> write a pprof allocation profile at exit
+//	                   (see EXPERIMENTS.md "Profiling the simulator")
 //
 // With -exp all, each experiment writes its own artifact with the
 // experiment name spliced into the file name (metrics.txt →
@@ -63,6 +66,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -100,8 +105,48 @@ func main() {
 		cellTimeout = flag.Duration("cell-timeout", 0, "chaos study: per-cell wall-clock budget (0 = none)")
 		retries     = flag.Int("retries", 0, "chaos study: retries for host-transient cell failures (cache I/O)")
 		failFast    = flag.Bool("fail-fast", false, "chaos study: abort on the first cell failure instead of quarantining it as an annotated hole")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile (taken at exit) to this file")
 	)
 	flag.Parse()
+
+	// Profiles flush on every exit path: run()/the study funnel all
+	// failures through fatal() below, and the success paths fall through
+	// to stopProfiles at the end of main.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	stopProfiles := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live + cumulative allocation
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		stopProfiles()
+		os.Exit(1)
+	}
 
 	// A SIGINT/SIGTERM cancels the runner's context: in-flight cells
 	// observe the cancellation, partial -metrics/-trace-out artifacts
@@ -119,8 +164,7 @@ func main() {
 		var err error
 		cache, err = runner.NewCache(*cacheDir, experiments.ModelVersion)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal("%v\n", err)
 		}
 	}
 
@@ -179,8 +223,7 @@ func main() {
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			fatal("%s: %v\n", name, err)
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Millisecond))
@@ -203,9 +246,9 @@ func main() {
 			cellTimeout: *cellTimeout, retries: *retries, failFast: *failFast,
 			outDir: *outDir, writeArtifacts: writeArtifacts,
 		}); err != nil {
-			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
-			os.Exit(1)
+			fatal("chaos: %v\n", err)
 		}
+		stopProfiles()
 		return
 	}
 
@@ -375,6 +418,8 @@ func main() {
 		}
 		return writeArtifacts("fig8", obs)
 	})
+
+	stopProfiles()
 }
 
 // chaosStudyArgs carries the flag surface into runChaosStudy.

@@ -28,14 +28,28 @@ type Allocator struct {
 // region is a contiguous managed range [base, base+size).
 type region struct {
 	base, size uint64
-	// free[o] holds base-relative offsets of free blocks of size
-	// minBlock<<o. Offsets (not absolute addresses) keep the buddy XOR
-	// arithmetic independent of where the extent sits in physical memory.
-	free []map[uint64]struct{}
+	shift      uint // the allocator's minShift, cached for slot arithmetic
+	// freeBit[o] marks which base-relative offsets hold a free block of
+	// size minBlock<<o, indexed by slot off>>(shift+o). Offsets (not
+	// absolute addresses) keep the buddy XOR arithmetic independent of
+	// where the extent sits in physical memory; the dense slot index
+	// replaces a map[uint64]struct{} so membership tests do no hashing
+	// (ISSUE 6 hot-path contract).
+	freeBit [][]bool
+	// count[o] is the number of free blocks at exactly order o.
+	count []int
 	// order of the largest block this region can hold.
 	maxOrder int
-	// stack[o] gives deterministic LIFO pop order per order.
+	// stack[o] gives deterministic LIFO pop order per order; stale
+	// entries (removed out-of-band by coalescing) are skipped lazily, and
+	// that skip order is part of the pinned allocation sequence.
 	stack [][]uint64
+}
+
+func (r *region) slot(order int, off uint64) uint64 { return off >> (r.shift + uint(order)) }
+
+func (r *region) isFree(order int, off uint64) bool {
+	return r.freeBit[order][r.slot(order, off)]
 }
 
 // New returns an allocator whose minimum block size is minBlock (a power
@@ -74,11 +88,12 @@ func (a *Allocator) AddRegion(base, size uint64) error {
 	}
 	blocks := size >> a.minShift
 	maxOrder := bits.Len64(blocks) - 1
-	r := &region{base: base, size: size, maxOrder: maxOrder}
-	r.free = make([]map[uint64]struct{}, maxOrder+1)
+	r := &region{base: base, size: size, shift: a.minShift, maxOrder: maxOrder}
+	r.freeBit = make([][]bool, maxOrder+1)
+	r.count = make([]int, maxOrder+1)
 	r.stack = make([][]uint64, maxOrder+1)
-	for o := range r.free {
-		r.free[o] = make(map[uint64]struct{})
+	for o := range r.freeBit {
+		r.freeBit[o] = make([]bool, blocks>>uint(o))
 	}
 	// Seed with the greedy aligned decomposition of the range.
 	off := uint64(0)
@@ -101,13 +116,15 @@ func (a *Allocator) AddRegion(base, size uint64) error {
 }
 
 func (r *region) push(order int, off uint64) {
-	if _, dup := r.free[order][off]; dup {
+	s := r.slot(order, off)
+	if r.freeBit[order][s] {
 		// Simulated-state violation: a block entered the free pool twice
 		// (double free in the HPMMAP path).
 		invariant.Failf("pool_double_push", "buddy",
 			"offset %#x order %d pushed onto the free pool it is already on", off, order)
 	}
-	r.free[order][off] = struct{}{}
+	r.freeBit[order][s] = true
+	r.count[order]++
 	r.stack[order] = append(r.stack[order], off)
 }
 
@@ -119,9 +136,10 @@ func (r *region) pop(order int) (uint64, bool) {
 	for len(s) > 0 {
 		off := s[len(s)-1]
 		s = s[:len(s)-1]
-		if _, ok := r.free[order][off]; ok {
+		if slot := r.slot(order, off); r.freeBit[order][slot] {
 			r.stack[order] = s
-			delete(r.free[order], off)
+			r.freeBit[order][slot] = false
+			r.count[order]--
 			return off, true
 		}
 	}
@@ -131,10 +149,12 @@ func (r *region) pop(order int) (uint64, bool) {
 
 // take removes a specific free block, returning false if absent.
 func (r *region) take(order int, off uint64) bool {
-	if _, ok := r.free[order][off]; !ok {
+	s := r.slot(order, off)
+	if !r.freeBit[order][s] {
 		return false
 	}
-	delete(r.free[order], off)
+	r.freeBit[order][s] = false
+	r.count[order]--
 	return true
 }
 
@@ -244,7 +264,7 @@ func (a *Allocator) LargestFreeBlock() uint64 {
 	var best uint64
 	for _, r := range a.regions {
 		for o := r.maxOrder; o >= 0; o-- {
-			if len(r.free[o]) > 0 {
+			if r.count[o] > 0 {
 				if bs := a.MinBlock() << uint(o); bs > best {
 					best = bs
 				}
@@ -263,7 +283,13 @@ func (a *Allocator) CheckInvariants() error {
 		covered := make(map[uint64]int)
 		for o := 0; o <= r.maxOrder; o++ {
 			bs := a.MinBlock() << uint(o)
-			for off := range r.free[o] {
+			n := 0
+			for slot, set := range r.freeBit[o] {
+				if !set {
+					continue
+				}
+				n++
+				off := uint64(slot) << (r.shift + uint(o))
 				if off%bs != 0 {
 					return fmt.Errorf("buddy: free block %#x misaligned for order %d", off, o)
 				}
@@ -277,6 +303,9 @@ func (a *Allocator) CheckInvariants() error {
 					covered[off+b] = o
 				}
 				free += bs
+			}
+			if n != r.count[o] {
+				return fmt.Errorf("buddy: order %d count %d != set bits %d", o, r.count[o], n)
 			}
 		}
 	}

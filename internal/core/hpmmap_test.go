@@ -21,7 +21,7 @@ type env struct {
 	hp   *Manager
 }
 
-func newEnv(t *testing.T, offline uint64, detail bool) *env {
+func newEnv(t testing.TB, offline uint64, detail bool) *env {
 	t.Helper()
 	eng := sim.NewEngine()
 	node := kernel.NewNode(kernel.DellR415(), eng, sim.NewRand(7))

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpmmap/internal/runner"
+)
+
+// The pinned-output contract (DESIGN.md §10): performance refactors of
+// the fault/allocation hot path must preserve the PRNG draw sequence and
+// all charged-cycle arithmetic exactly, so every figure artifact stays
+// byte-identical. These tests render a reduced fig2/fig3 fault table, a
+// fig7 and fig8 panel, the chaos-study table and the attribution report
+// at Workers=1 and Workers=8 (cold and, for fig7, warm cache) and
+// compare them byte-for-byte against the goldens committed under
+// testdata/golden — captured from the tree as it stood before the hot
+// path was restructured. Every future perf PR runs through this net.
+//
+// Regenerate (ONLY when a PR deliberately changes simulation semantics
+// and says so): UPDATE_GOLDEN=1 go test ./internal/experiments -run Golden
+
+// goldenDir holds the committed artifacts.
+const goldenDir = "testdata/golden"
+
+// renderGoldenArtifacts produces every pinned artifact at the given
+// worker count. The configurations are deliberately reduced (scale 0.25,
+// few cells) so the contract test stays fast while still crossing every
+// hot-path layer: THP and HugeTLBfs micro-fidelity fault tables (fig2,
+// fig3), the aggregate-fidelity weak-scaling grid (fig7), the multi-node
+// study (fig8), the chaos sweep and the barrier attribution report.
+func renderGoldenArtifacts(t *testing.T, workers int, cache *runner.Cache) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	render := func(name string, fn func(w *bytes.Buffer) error) {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatalf("render %s: %v", name, err)
+		}
+		out[name] = buf.Bytes()
+	}
+
+	render("fig2.txt", func(w *bytes.Buffer) error {
+		fs, err := Fig2(FaultStudyOptions{Ranks: 2, Seed: 7, Scale: 0.25, Workers: workers})
+		if err != nil {
+			return err
+		}
+		WriteFaultStudy(w, fs)
+		return nil
+	})
+	render("fig3.txt", func(w *bytes.Buffer) error {
+		fs, err := Fig3(FaultStudyOptions{Ranks: 2, Seed: 7, Scale: 0.25, Workers: workers})
+		if err != nil {
+			return err
+		}
+		WriteFaultStudy(w, fs)
+		return nil
+	})
+	render("fig7.txt", func(w *bytes.Buffer) error {
+		panels, err := Fig7(Fig7Options{
+			Benches:    []string{"miniMD"},
+			Profiles:   []Profile{ProfileA},
+			CoreCounts: []int{1, 2},
+			Runs:       2,
+			Seed:       101,
+			Scale:      0.25,
+			Workers:    workers,
+			Cache:      cache,
+		})
+		if err != nil {
+			return err
+		}
+		WriteFig7(w, panels)
+		return nil
+	})
+	render("fig8.txt", func(w *bytes.Buffer) error {
+		panels, err := Fig8(Fig8Options{
+			Benches:  []string{"LAMMPS"},
+			Profiles: []Profile{ProfileC},
+			Ranks:    []int{4},
+			Runs:     1,
+			Seed:     202,
+			Scale:    0.25,
+			Workers:  workers,
+		})
+		if err != nil {
+			return err
+		}
+		WriteFig8(w, panels)
+		return nil
+	})
+	render("chaos.txt", func(w *bytes.Buffer) error {
+		s, err := ChaosStudyRun(ChaosStudyOptions{
+			Intensities: []float64{0, 0.75},
+			Cores:       2,
+			Runs:        1,
+			Seed:        303,
+			Scale:       0.25,
+			Workers:     workers,
+		})
+		if err != nil {
+			return err
+		}
+		if len(s.Failures) != 0 {
+			t.Fatalf("chaos golden run quarantined cells: %+v", s.Failures)
+		}
+		WriteChaosStudy(w, s)
+		return nil
+	})
+	render("attribution.txt", func(w *bytes.Buffer) error {
+		cells, err := RunAttributionStudy(AttributionStudyOptions{
+			Ranks: 4, Seed: 404, Scale: 0.25, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		return WriteAttributionStudy(w, cells)
+	})
+	return out
+}
+
+func compareGolden(t *testing.T, label string, got map[string][]byte) {
+	t.Helper()
+	for name, body := range got {
+		want, err := os.ReadFile(filepath.Join(goldenDir, name))
+		if err != nil {
+			t.Fatalf("%s: reading golden %s: %v (run UPDATE_GOLDEN=1 go test ./internal/experiments -run Golden to create)", label, name, err)
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("%s: %s diverged from the committed golden — the hot path no longer preserves the draw sequence / cycle arithmetic.\n--- got ---\n%s\n--- want ---\n%s",
+				label, name, body, want)
+		}
+	}
+}
+
+// TestGoldenArtifactsPinned is the pinned-output contract test. Skipped
+// under the race detector: byte-equality needs no race coverage and the
+// grids here would add many race-amplified minutes to the full-tree race
+// pass; the Workers=1-vs-8 determinism contract is race-covered by
+// TestFig7IdenticalAcrossWorkerCounts and friends.
+func TestGoldenArtifactsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-equality contract; skipped under -race (see comment)")
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		got := renderGoldenArtifacts(t, 1, nil)
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, body := range got {
+			if err := os.WriteFile(filepath.Join(goldenDir, name), body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d goldens under %s", len(got), goldenDir)
+		return
+	}
+
+	// Workers=1, cold cache.
+	compareGolden(t, "workers=1", renderGoldenArtifacts(t, 1, nil))
+
+	// Workers=8, with a result cache: the first pass exercises the cold
+	// path in parallel, the second replays every fig7 cell from the warm
+	// cache. Both must match the goldens.
+	dir := t.TempDir()
+	cache, err := runner.NewCache(dir, ModelVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "workers=8 cold", renderGoldenArtifacts(t, 8, cache))
+	warm := renderGoldenArtifacts(t, 8, cache)
+	compareGolden(t, "workers=8 warm", warm)
+}

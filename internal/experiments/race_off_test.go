@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; the pinned-
+// output golden test skips itself under -race (see golden_test.go).
+const raceEnabled = false

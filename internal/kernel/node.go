@@ -30,9 +30,16 @@ type Node struct {
 	nextPID int
 	nextTID int
 
-	// Page cache, one block list per zone. Blocks are order-3 (32KB) so
-	// commodity file I/O fragments large-page-sized regions realistically.
-	pageCache [][]pcBlock
+	// runningCommodity counts commodity-process tasks currently on a
+	// runqueue, maintained by arrive/depart so LoadFor reads a summary
+	// counter instead of scanning the append-only task list (which grows
+	// with every fork over a macro run).
+	runningCommodity int
+
+	// Page cache, one FIFO block queue per zone. Blocks are order-3
+	// (32KB) so commodity file I/O fragments large-page-sized regions
+	// realistically.
+	pageCache []pcQueue
 	pcPages   []uint64
 
 	kswapd *sim.Ticker
@@ -72,6 +79,40 @@ type pcBlock struct {
 	zone int
 }
 
+// pcQueue is a FIFO of page-cache blocks with a head index instead of
+// front reslicing, so eviction keeps the backing array's capacity and
+// sustained add/evict cycles stop paying O(len) growslice copies (the
+// pre-ISSUE-6 profile put PageCacheAdd at 38% of simulator CPU, mostly
+// memmove under append).
+type pcQueue struct {
+	blocks []pcBlock
+	head   int
+}
+
+func (q *pcQueue) len() int { return len(q.blocks) - q.head }
+
+func (q *pcQueue) push(b pcBlock) {
+	if len(q.blocks) == cap(q.blocks) && q.head > 0 {
+		// About to grow: compact into the dead front instead.
+		n := copy(q.blocks, q.blocks[q.head:])
+		q.blocks = q.blocks[:n]
+		q.head = 0
+	}
+	q.blocks = append(q.blocks, b)
+}
+
+// popFront removes the count oldest blocks, calling free for each.
+func (q *pcQueue) popFront(count int, free func(pcBlock)) {
+	for i := 0; i < count; i++ {
+		free(q.blocks[q.head+i])
+	}
+	q.head += count
+	if q.head == len(q.blocks) {
+		q.blocks = q.blocks[:0]
+		q.head = 0
+	}
+}
+
 const pcOrder = 3 // 32KB page-cache allocation units
 
 // NewNode boots a node on the given engine. The default memory manager
@@ -84,7 +125,7 @@ func NewNode(cfg MachineConfig, eng *sim.Engine, rnd *sim.Rand) *Node {
 		Mem:       mem.NewNodeMemory(cfg.NumaZones, cfg.MemoryBytes),
 		procs:     make(map[int]*Process),
 		nextPID:   100,
-		pageCache: make([][]pcBlock, cfg.NumaZones),
+		pageCache: make([]pcQueue, cfg.NumaZones),
 		pcPages:   make([]uint64, cfg.NumaZones),
 	}
 	n.cores = make([]core, cfg.Cores)
@@ -242,6 +283,7 @@ func (n *Node) NewTask(p *Process, pinned int, bwWeight float64) *Task {
 	}
 	n.nextTID++
 	n.tasks = append(n.tasks, t)
+	p.tasks = append(p.tasks, t)
 	return t
 }
 
@@ -344,12 +386,11 @@ func (n *Node) LoadFor(p *Process) fault.Load {
 	z := n.Mem.Zones[p.PreferredZone]
 	frag := z.FragmentationIndex(mem.LargePageOrder)
 	// Allocation contention: commodity tasks running right now, relative
-	// to core count.
-	commodity := 0
-	for _, t := range n.tasks {
-		if t.running && t.Proc.Commodity && t.Proc != p {
-			commodity++
-		}
+	// to core count. runningCommodity is maintained by arrive/depart;
+	// a commodity process excludes its own running tasks.
+	commodity := n.runningCommodity
+	if p.Commodity {
+		commodity -= p.running
 	}
 	alloc := float64(commodity) / float64(len(n.cores))
 	if alloc > 1 {
@@ -405,7 +446,7 @@ func (n *Node) PageCacheAdd(zone int, bytes uint64) {
 				return
 			}
 		}
-		n.pageCache[z.ID] = append(n.pageCache[z.ID], pcBlock{pfn: pfn, zone: z.ID})
+		n.pageCache[z.ID].push(pcBlock{pfn: pfn, zone: z.ID})
 		n.pcPages[z.ID] += 1 << pcOrder
 	}
 }
@@ -417,7 +458,7 @@ func (n *Node) PageCachePages(zone int) uint64 { return n.pcPages[zone] }
 func (n *Node) dropOneCacheBlock() bool {
 	best := -1
 	for z := range n.pageCache {
-		if len(n.pageCache[z]) > 0 && (best < 0 || len(n.pageCache[z]) > len(n.pageCache[best])) {
+		if n.pageCache[z].len() > 0 && (best < 0 || n.pageCache[z].len() > n.pageCache[best].len()) {
 			best = z
 		}
 	}
@@ -430,14 +471,11 @@ func (n *Node) dropOneCacheBlock() bool {
 
 // evictFrom frees count blocks from the zone's cache (FIFO).
 func (n *Node) evictFrom(zone int, count int) {
-	list := n.pageCache[zone]
-	if count > len(list) {
-		count = len(list)
+	q := &n.pageCache[zone]
+	if count > q.len() {
+		count = q.len()
 	}
-	for i := 0; i < count; i++ {
-		n.Mem.Free(list[i].pfn, pcOrder)
-	}
-	n.pageCache[zone] = list[count:]
+	q.popFront(count, func(b pcBlock) { n.Mem.Free(b.pfn, pcOrder) })
 	n.pcPages[zone] -= uint64(count) << pcOrder
 	n.ReclaimedPages += uint64(count) << pcOrder
 }

@@ -55,6 +55,10 @@ func (n *Node) arrive(t *Task) {
 		})
 	}
 	t.running = true
+	t.Proc.running++
+	if t.Proc.Commodity {
+		n.runningCommodity++
+	}
 	c := &n.cores[t.cur]
 	c.runnable++
 	c.bwWeight += t.BandwidthWeight
@@ -66,6 +70,10 @@ func (n *Node) depart(t *Task) {
 		return
 	}
 	t.running = false
+	t.Proc.running--
+	if t.Proc.Commodity {
+		n.runningCommodity--
+	}
 	c := &n.cores[t.cur]
 	c.runnable--
 	c.bwWeight -= t.BandwidthWeight
@@ -151,9 +159,11 @@ func (n *Node) bandwidthLoadExcluding(p *Process) float64 {
 			w += c.bwWeight / float64(c.runnable)
 		}
 	}
-	// Subtract p's own running tasks' time-shared contribution.
-	for _, t := range n.tasks {
-		if t.running && t.Proc == p {
+	// Subtract p's own running tasks' time-shared contribution. p.tasks
+	// preserves creation order, so the subtraction sequence (and thus the
+	// float result) matches the old whole-node scan exactly.
+	for _, t := range p.tasks {
+		if t.running {
 			if r := n.cores[t.cur].runnable; r > 0 {
 				w -= t.BandwidthWeight / float64(r)
 			}

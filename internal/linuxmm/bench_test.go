@@ -1,0 +1,87 @@
+package linuxmm
+
+// Hot-path microbenchmarks for the touch/allocation cycle (ISSUE 6).
+// Each iteration maps, touches and unmaps a region, so the steady state
+// exercises exactly the machinery the refactor targets: the pooled
+// touchCtx and region structs, gatedAllocRun's batched buddy draws, and
+// the slot-indexed zone free lists on both the alloc and free sides.
+// Run with `make bench` or:
+//
+//	go test -bench 'Touch|GatedAlloc' -benchmem ./internal/linuxmm/
+//
+// b.ReportAllocs makes per-op allocation regressions visible — the
+// demand-paging cycle should stay in the low tens of allocations per op
+// regardless of region size.
+
+import (
+	"testing"
+
+	"hpmmap/internal/vma"
+)
+
+// BenchmarkTouchDemand measures the THP demand-paging fault path:
+// mmap 64MB, touch it (large faults plus 4KB tails), unmap.
+func BenchmarkTouchDemand(b *testing.B) {
+	e := newEnv(b, ModeTHP, ModeTHP, 0, false)
+	p := e.proc(b, false)
+	const size = 64 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, _, err := e.node.Mmap(p, size, rw, vma.KindAnon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.node.TouchRange(p, addr, size); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.node.Munmap(p, addr, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTouchHugetlb measures the HugeTLBfs slab-fault path: one
+// fault per 2MB page out of the boot-time pool, stacks on 4KB pages.
+func BenchmarkTouchHugetlb(b *testing.B) {
+	e := newEnv(b, ModeHugeTLB, Mode4KOnly, 2<<30, false)
+	p := e.proc(b, false)
+	const size = 64 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, _, err := e.node.Mmap(p, size, rw, vma.KindAnon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.node.TouchRange(p, addr, size); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.node.Munmap(p, addr, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatedAlloc measures the watermark-gated small-page backing
+// loop in isolation: 4K-only mode routes the whole region through
+// touchSmall, whose buddy draws batch into gatedAllocRun.
+func BenchmarkGatedAlloc(b *testing.B) {
+	e := newEnv(b, Mode4KOnly, Mode4KOnly, 0, false)
+	p := e.proc(b, false)
+	const size = 32 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, _, err := e.node.Mmap(p, size, rw, vma.KindAnon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.node.TouchRange(p, addr, size); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.node.Munmap(p, addr, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,7 +20,7 @@ type env struct {
 	mgr  *Manager
 }
 
-func newEnv(t *testing.T, hpc, commodity Mode, hugetlbBytes uint64, detail bool) *env {
+func newEnv(t testing.TB, hpc, commodity Mode, hugetlbBytes uint64, detail bool) *env {
 	t.Helper()
 	eng := sim.NewEngine()
 	node := kernel.NewNode(kernel.DellR415(), eng, sim.NewRand(42))
@@ -38,7 +38,7 @@ func newEnv(t *testing.T, hpc, commodity Mode, hugetlbBytes uint64, detail bool)
 	return &env{eng: eng, node: node, mgr: mgr}
 }
 
-func (e *env) proc(t *testing.T, commodity bool) *kernel.Process {
+func (e *env) proc(t testing.TB, commodity bool) *kernel.Process {
 	t.Helper()
 	p, err := e.node.NewProcess("p", commodity, 0)
 	if err != nil {

@@ -86,12 +86,32 @@ type Manager struct {
 	procs      []*kernel.Process
 	scanCursor int
 
+	// tc is the scratch touch context reused across TouchRange calls
+	// (the manager is single-threaded per node; TouchRange does not
+	// reenter), and regionPool recycles munmapped region structs so
+	// churn-heavy workloads reuse the backing-slice capacity of
+	// largeFrames/smallBlocks/fallback instead of reallocating them
+	// every mmap cycle (ISSUE 6 hot-path contract).
+	tc         touchCtx
+	regionPool []*region
+
+	// Scratch buffers for gatedAllocRun (block PFNs and per-zone run
+	// segments), reused across calls.
+	runPFNs []mem.PFN
+	runSegs []allocSeg
+
 	// Statistics.
 	LargeFaults, SmallFaults, FallbackFaults uint64
 	Compactions, ReclaimStorms               uint64
 	StormsHPC                                uint64
 	SplitOnMlock                             uint64
 	SwappedOutPages                          uint64
+	// Hot-path efficiency tallies (ISSUE 6): batched gated allocation
+	// passes, the blocks they returned, and region structs served from
+	// the recycling pool instead of fresh allocation.
+	GatedAllocRuns   uint64
+	GatedAllocBlocks uint64
+	RegionPoolReuses uint64
 }
 
 // New creates the manager. pools may be nil when no mode uses HugeTLBfs.
@@ -230,6 +250,20 @@ func (ps *procState) findRegion(va pgtable.VirtAddr) *region {
 
 func state(p *kernel.Process) *procState { return p.MMState().(*procState) }
 
+// newRegion returns a region struct from the recycle pool (keeping its
+// slice capacity) or a fresh one.
+func (m *Manager) newRegion() *region {
+	if n := len(m.regionPool); n > 0 {
+		r := m.regionPool[n-1]
+		m.regionPool = m.regionPool[:n-1]
+		lf, sb, fb := r.largeFrames[:0], r.smallBlocks[:0], r.fallback[:0]
+		*r = region{largeFrames: lf, smallBlocks: sb, fallback: fb}
+		m.RegionPoolReuses++
+		return r
+	}
+	return &region{}
+}
+
 // Attach implements kernel.MemoryManager.
 func (m *Manager) Attach(p *kernel.Process) error {
 	ps := &procState{mode: m.modeFor(p), regions: make(map[pgtable.VirtAddr]*region)}
@@ -287,8 +321,8 @@ func (m *Manager) releaseRegion(p *kernel.Process, r *region) {
 	if m.node.Detail {
 		p.PT.UnmapRange(r.start, r.length)
 	}
-	r.largeFrames = nil
-	r.smallBlocks = nil
+	r.largeFrames = r.largeFrames[:0]
+	r.smallBlocks = r.smallBlocks[:0]
 	r.smallBytes, r.largeBytes, r.remoteBytes = 0, 0, 0
 	r.touched = 0
 	r.slabs = 0
@@ -323,7 +357,8 @@ func (m *Manager) Mmap(p *kernel.Process, length uint64, prot pgtable.Prot, kind
 	if _, err := p.Space.MapAligned(addr, length, prot, vkind, align); err != nil {
 		return 0, 0, err
 	}
-	r := &region{start: addr, length: roundUp(length, mem.PageSize), prot: prot, kind: kind, hugetlb: useHugetlb}
+	r := m.newRegion()
+	r.start, r.length, r.prot, r.kind, r.hugetlb = addr, roundUp(length, mem.PageSize), prot, kind, useHugetlb
 	m.computeLargeSpan(ps, r)
 	ps.insert(r)
 	// A VMA insert walks the rbtree and possibly merges: small cost.
@@ -373,6 +408,9 @@ func (m *Manager) Munmap(p *kernel.Process, addr pgtable.VirtAddr, length uint64
 	pages := r.smallBytes/mem.PageSize + r.largeBytes/mem.LargePageSize
 	m.releaseRegion(p, r)
 	ps.remove(addr)
+	if r != ps.heap && r != ps.stack {
+		m.regionPool = append(m.regionPool, r)
+	}
 	if err := p.Space.Unmap(addr, length); err != nil {
 		return 0, err
 	}

@@ -16,4 +16,7 @@ func (m *Manager) Observe(reg *metrics.Registry) {
 	reg.CounterFunc(metrics.LinuxmmReclaimStormsHPCTotal, func() uint64 { return m.StormsHPC })
 	reg.CounterFunc(metrics.LinuxmmSplitOnMlockTotal, func() uint64 { return m.SplitOnMlock })
 	reg.CounterFunc(metrics.LinuxmmSwappedOutPagesTotal, func() uint64 { return m.SwappedOutPages })
+	reg.CounterFunc(metrics.LinuxmmGatedAllocRunsTotal, func() uint64 { return m.GatedAllocRuns })
+	reg.CounterFunc(metrics.LinuxmmGatedAllocBlocksTotal, func() uint64 { return m.GatedAllocBlocks })
+	reg.CounterFunc(metrics.LinuxmmRegionPoolReusesTotal, func() uint64 { return m.RegionPoolReuses })
 }

@@ -60,7 +60,11 @@ func (m *Manager) TouchRange(p *kernel.Process, addr pgtable.VirtAddr, length ui
 	if end > uint64(r.start)+r.length {
 		return kernel.TouchStats{}, fmt.Errorf("linuxmm: touch [%#x,+%#x) crosses region end", uint64(addr), length)
 	}
-	tc := &touchCtx{p: p, r: r, load: m.node.LoadFor(p)}
+	// Reuse the manager's scratch context: TouchRange does not reenter
+	// (the fallback paths — reclaim, swap-out, OOM kill — never touch),
+	// so per-call heap allocation here is pure churn.
+	tc := &m.tc
+	*tc = touchCtx{p: p, r: r, load: m.node.LoadFor(p)}
 
 	// Consume pending khugepaged merge stalls first: the mm lock was held
 	// while we were away; the first faults back get blocked.
@@ -273,6 +277,52 @@ func (m *Manager) gatedAlloc(preferred, order int) (mem.PFN, int, bool) {
 	return 0, 0, false
 }
 
+// allocSeg is one gatedAllocRun segment: n consecutive blocks that came
+// from the same zone.
+type allocSeg struct {
+	zone int
+	n    uint64
+}
+
+// gatedAllocRun allocates up to want blocks of 2^order pages through the
+// watermark gate, draining each zone in rotation order from preferred.
+// This produces exactly the block sequence `want` sequential gatedAlloc
+// calls would: free pages only decrease during a run (no frees can
+// interleave inside one touchSmall backing loop), so once a zone fails
+// the gate or the buddy search it cannot recover until the caller's slow
+// path reclaims memory. Blocks land in m.runPFNs and per-zone segments
+// in m.runSegs; the return is the count allocated. A short return means
+// every zone was probed and refused — the equivalent of one failed
+// gatedAlloc, so callers go straight to the reclaim slow path without
+// re-probing.
+func (m *Manager) gatedAllocRun(preferred, order int, want uint64) uint64 {
+	m.runPFNs = m.runPFNs[:0]
+	m.runSegs = m.runSegs[:0]
+	zones := m.node.Mem.Zones
+	var got uint64
+	for i := 0; i < len(zones) && got < want; i++ {
+		zi := (preferred + i) % len(zones)
+		z := zones[zi]
+		reserve := z.WatermarkMin + mem.PagesPerOrder(order)
+		var n uint64
+		for got < want && z.FreePages() >= reserve {
+			pfn, ok := z.AllocPages(order)
+			if !ok {
+				break
+			}
+			m.runPFNs = append(m.runPFNs, pfn)
+			n++
+			got++
+		}
+		if n > 0 {
+			m.runSegs = append(m.runSegs, allocSeg{zone: zi, n: n})
+		}
+	}
+	m.GatedAllocRuns++
+	m.GatedAllocBlocks += got
+	return got
+}
+
 // touchSmall materializes bytes of 4KB-mapped memory starting at va.
 func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 	r := tc.r
@@ -281,7 +331,10 @@ func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 	m.SmallFaults += pages
 
 	// Back the pages with buddy blocks, charging reclaim storms on real
-	// allocation failures.
+	// allocation failures. At the order cap the next run of blocks all
+	// pick the same order, so they are allocated in one gated pass
+	// instead of one gatedAlloc round-trip per block; the block sequence
+	// is identical (see gatedAllocRun).
 	need := pages
 	storms := uint64(0)
 	for need > 0 {
@@ -289,65 +342,94 @@ func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 		for order < maxSmallBlockOrder && mem.PagesPerOrder(order+1) <= need {
 			order++
 		}
+		want := uint64(1)
+		if order == maxSmallBlockOrder && mem.PagesPerOrder(order+1) <= need {
+			// Blocks of this order keep being picked until need drops
+			// below 2^(order+1) pages.
+			want = (need-mem.PagesPerOrder(order+1))/mem.PagesPerOrder(order) + 1
+		}
+		got := m.gatedAllocRun(p.PreferredZone, order, want)
+		if got > 0 {
+			for _, seg := range m.runSegs {
+				if seg.zone != p.PreferredZone {
+					r.remoteBytes += seg.n * mem.BytesPerOrder(order)
+					p.ResidentRemote += seg.n * mem.BytesPerOrder(order)
+				}
+			}
+			for _, pfn := range m.runPFNs {
+				r.smallBlocks = append(r.smallBlocks, smallBlock{pfn: pfn, order: order})
+			}
+			r.smallBytes += got * mem.BytesPerOrder(order)
+			p.ResidentSmall += got * mem.BytesPerOrder(order)
+			// Only the final block can over-shoot (want > 1 runs keep
+			// need >= the block size throughout).
+			taken := got * mem.PagesPerOrder(order)
+			if taken > need {
+				taken = need
+			}
+			need -= taken
+		}
+		if got == want {
+			continue
+		}
+		// Shortfall: the run's final probe round visited every zone and
+		// refused — a failed gatedAlloc. Direct reclaim: evict page
+		// cache, charge a storm, retry.
+		m.ReclaimStorms++
+		if !p.Commodity {
+			m.StormsHPC++
+		}
+		m.node.DirectReclaim(p.PreferredZone, order)
+		storm := m.costs().DirectReclaim(m.rand, tc.load)
+		kind := fault.KindSmall
+		if state(p).mode == ModeHugeTLB {
+			kind = fault.KindHugeTLBSmall
+		}
+		tc.charge(m, kind, storm+m.costs().SmallFault(m.rand, tc.load), va, true)
+		// The fault-kind charge above includes the reclaim stall; move
+		// that share to the reclaim-storm cause so attribution separates
+		// "slow fault path" from "stalled behind reclaim".
+		p.Account.Reattribute(timeline.FaultCause(kind), timeline.CauseReclaimStorm, storm)
+		storms++
+		if need > 0 {
+			need-- // the storm fault itself materialized one page
+		}
 		pfn, zone, ok := m.gatedAlloc(p.PreferredZone, order)
 		if !ok {
-			// Direct reclaim: evict page cache, charge a storm, retry.
-			m.ReclaimStorms++
-			if !p.Commodity {
-				m.StormsHPC++
-			}
-			m.node.DirectReclaim(p.PreferredZone, order)
-			storm := m.costs().DirectReclaim(m.rand, tc.load)
-			kind := fault.KindSmall
-			if state(p).mode == ModeHugeTLB {
-				kind = fault.KindHugeTLBSmall
-			}
-			tc.charge(m, kind, storm+m.costs().SmallFault(m.rand, tc.load), va, true)
-			// The fault-kind charge above includes the reclaim stall; move
-			// that share to the reclaim-storm cause so attribution separates
-			// "slow fault path" from "stalled behind reclaim".
-			p.Account.Reattribute(timeline.FaultCause(kind), timeline.CauseReclaimStorm, storm)
-			storms++
-			if need > 0 {
-				need-- // the storm fault itself materialized one page
-			}
-			pfn, zone, ok = m.gatedAlloc(p.PreferredZone, order)
+			// Desperate: ignore watermarks (ALLOC_HARDER).
+			var zp *mem.Zone
+			pfn, zp, ok = m.node.Mem.Alloc(p.PreferredZone, order)
 			if !ok {
-				// Desperate: ignore watermarks (ALLOC_HARDER).
-				var zp *mem.Zone
-				pfn, zp, ok = m.node.Mem.Alloc(p.PreferredZone, order)
+				// Cache reclaim made no progress: page out commodity
+				// anon memory before resorting to the OOM killer.
+				if m.swapOutCommodity(p, 8192) > 0 { // one 32MB pass
+					pfn, zp, ok = m.node.Mem.Alloc(p.PreferredZone, order)
+				}
 				if !ok {
-					// Cache reclaim made no progress: page out commodity
-					// anon memory before resorting to the OOM killer.
-					if m.swapOutCommodity(p, 8192) > 0 { // one 32MB pass
+					if victim := m.node.OOMKill(); victim != nil && victim != p {
 						pfn, zp, ok = m.node.Mem.Alloc(p.PreferredZone, order)
 					}
-					if !ok {
-						if victim := m.node.OOMKill(); victim != nil && victim != p {
-							pfn, zp, ok = m.node.Mem.Alloc(p.PreferredZone, order)
-						}
-					}
-					if !ok {
-						// Even the killer could not help (no commodity
-						// victim); stop materializing.
-						return
-					}
 				}
-				zone = zp.ID
+				if !ok {
+					// Even the killer could not help (no commodity
+					// victim); stop materializing.
+					return
+				}
 			}
+			zone = zp.ID
 		}
 		if zone != p.PreferredZone {
 			r.remoteBytes += mem.BytesPerOrder(order)
 			p.ResidentRemote += mem.BytesPerOrder(order)
 		}
 		r.smallBlocks = append(r.smallBlocks, smallBlock{pfn: pfn, order: order})
-		got := mem.PagesPerOrder(order)
-		if got > need {
-			got = need
+		taken := mem.PagesPerOrder(order)
+		if taken > need {
+			taken = need
 		}
 		r.smallBytes += mem.BytesPerOrder(order)
 		p.ResidentSmall += mem.BytesPerOrder(order)
-		need -= got
+		need -= taken
 	}
 
 	// Storm faults were charged individually above; the rest charge here.

@@ -7,31 +7,51 @@ import "hpmmap/internal/invariant"
 // allocators), and O(1) removal by address (needed when a buddy is
 // absorbed during coalescing). Iteration order is deterministic for a
 // deterministic call sequence.
+//
+// Blocks of one order within one zone are order-aligned frames in the
+// zone's span, so each maps to a dense slot (pfn-base)>>order. Membership
+// and positions live in a slot-indexed array instead of a map: the fault
+// hot path does no hashing (ISSUE 6 — the map[PFN]int representation put
+// memhash/mapaccess/mapassign at ~25% of simulator CPU). idx[slot] holds
+// position+1 in items, 0 means absent. The array is sized from the zone's
+// span at construction and never shrinks: Offline removes only topmost
+// sections, so stale high slots simply stay zero.
 type freeList struct {
 	items []PFN
-	pos   map[PFN]int
+	base  PFN
+	shift uint
+	idx   []int32 // slot -> position+1 in items; 0 = absent
 }
 
-func newFreeList() *freeList {
-	return &freeList{pos: make(map[PFN]int)}
+// newFreeList builds the list for one order of a zone spanning pages base
+// pages starting at base.
+func newFreeList(base PFN, order int, pages uint64) *freeList {
+	return &freeList{
+		base:  base,
+		shift: uint(order),
+		idx:   make([]int32, pages>>uint(order)),
+	}
 }
+
+func (f *freeList) slot(p PFN) uint64 { return uint64(p-f.base) >> f.shift }
 
 func (f *freeList) len() int { return len(f.items) }
 
 func (f *freeList) contains(p PFN) bool {
-	_, ok := f.pos[p]
-	return ok
+	s := f.slot(p)
+	return s < uint64(len(f.idx)) && f.idx[s] != 0
 }
 
 func (f *freeList) push(p PFN) {
-	if _, ok := f.pos[p]; ok {
+	s := f.slot(p)
+	if f.idx[s] != 0 {
 		// Simulated-state violation: the same physical block entered a
 		// free list twice (a double free somewhere upstream).
 		invariant.Failf("free_list_double_push", "mem",
 			"frame %d pushed onto a free list it is already on", p)
 	}
-	f.pos[p] = len(f.items)
 	f.items = append(f.items, p)
+	f.idx[s] = int32(len(f.items))
 }
 
 // pop removes and returns the most recently freed block.
@@ -42,23 +62,24 @@ func (f *freeList) pop() (PFN, bool) {
 	}
 	p := f.items[n-1]
 	f.items = f.items[:n-1]
-	delete(f.pos, p)
+	f.idx[f.slot(p)] = 0
 	return p, true
 }
 
 // remove deletes a specific block (swap-remove). Reports whether it was
 // present.
 func (f *freeList) remove(p PFN) bool {
-	i, ok := f.pos[p]
-	if !ok {
+	s := f.slot(p)
+	if s >= uint64(len(f.idx)) || f.idx[s] == 0 {
 		return false
 	}
+	i := f.idx[s] - 1
 	last := len(f.items) - 1
 	moved := f.items[last]
 	f.items[i] = moved
-	f.pos[moved] = i
+	f.idx[f.slot(moved)] = i + 1
 	f.items = f.items[:last]
-	delete(f.pos, p) // also correct when moved == p (entry re-created above)
+	f.idx[s] = 0 // also correct when moved == p (slot re-written above)
 	return true
 }
 

@@ -156,7 +156,7 @@ func TestOrderHelpers(t *testing.T) {
 }
 
 func TestFreeListRemoveSemantics(t *testing.T) {
-	f := newFreeList()
+	f := newFreeList(0, 0, 64)
 	f.push(10)
 	f.push(20)
 	f.push(30)
@@ -189,7 +189,7 @@ func TestFreeListRemoveSemantics(t *testing.T) {
 }
 
 func TestFreeListDoublePushPanics(t *testing.T) {
-	f := newFreeList()
+	f := newFreeList(0, 0, 64)
 	f.push(5)
 	defer func() {
 		if recover() == nil {

@@ -57,7 +57,7 @@ func NewZone(id int, base PFN, pages uint64) *Zone {
 	}
 	z := &Zone{ID: id, Base: base, Pages: pages}
 	for o := range z.free {
-		z.free[o] = newFreeList()
+		z.free[o] = newFreeList(base, o, pages)
 	}
 	for p := base; p < base+PFN(pages); p += PFN(maxBlock) {
 		z.free[MaxOrder].push(p)

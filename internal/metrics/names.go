@@ -82,6 +82,9 @@ const (
 	LinuxmmReclaimStormsHPCTotal = "linuxmm_reclaim_storms_hpc_total"
 	LinuxmmSplitOnMlockTotal     = "linuxmm_split_on_mlock_total"
 	LinuxmmSwappedOutPagesTotal  = "linuxmm_swapped_out_pages_total"
+	LinuxmmGatedAllocRunsTotal   = "linuxmm_gated_alloc_runs_total"
+	LinuxmmGatedAllocBlocksTotal = "linuxmm_gated_alloc_blocks_total"
+	LinuxmmRegionPoolReusesTotal = "linuxmm_region_pool_reuses_total"
 
 	// thp_* — the khugepaged merge daemon.
 	THPScansTotal        = "thp_scans_total"
