@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet lint bench chaos
+.PHONY: verify build test race vet lint bench chaos datacenter
 
 verify: build test race vet lint
 
@@ -40,7 +40,10 @@ lint:
 #  2. hot-path microbenchmarks of the touch/allocation cycle (demand
 #     THP, HugeTLBfs, gated 4K backing, HPMMAP pool) with -benchmem so
 #     per-op allocation creep is visible in the log;
-#  3. the simulator-throughput record: cmd/hpmmap-perf runs a reduced
+#  3. the fork/exit lifecycle microbenchmark (DESIGN.md §11): the
+#     pooled variant must beat the unpooled baseline (>= 2x ns/op and
+#     0 B/op at steady state — pooled results are printed first);
+#  4. the simulator-throughput record: cmd/hpmmap-perf runs a reduced
 #     Fig. 7 grid bare / observed / series-sampled, compares cells/sec
 #     against the committed BENCH_6.json (read before it is rewritten)
 #     and FAILS on a >10% regression, then refreshes the record.
@@ -48,6 +51,7 @@ bench:
 	$(GO) test -bench 'Fault' -benchmem ./internal/metrics/
 	$(GO) test -run xxx -bench 'TouchDemand|TouchHugetlb|GatedAlloc' -benchmem ./internal/linuxmm/
 	$(GO) test -run xxx -bench 'HPMMAPTouchRange' -benchmem ./internal/core/
+	$(GO) test -run xxx -bench 'ForkExit' -benchmem ./internal/linuxmm/
 	$(GO) run ./cmd/hpmmap-perf -out BENCH_6.json -baseline BENCH_6.json -regress-pct 10 \
 		-cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof
 
@@ -55,3 +59,9 @@ bench:
 # manager with the invariant auditor attached, small scale for speed.
 chaos:
 	$(GO) run ./cmd/hpmmap-bench -study chaos -scale 0.25 -runs 2 -audit -v
+
+# Quick datacenter churn study (see DESIGN.md §11): mixed-tenancy pod
+# churn x chaos on one node, per-class tail latency + interference,
+# with the CSV dropped into ./out for inspection.
+datacenter:
+	$(GO) run ./cmd/hpmmap-bench -study datacenter -scale 0.25 -audit -v -out out

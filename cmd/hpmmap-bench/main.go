@@ -16,14 +16,22 @@
 //	hpmmap-bench -study chaos                      # contention-storm sweep
 //	hpmmap-bench -study chaos -audit               # + invariant auditor per cell
 //	hpmmap-bench -study chaos -chaos-poison 3      # quarantine drill: poison cell 3
+//	hpmmap-bench -study datacenter -out out        # pod churn x chaos, CSV to out/
+//	hpmmap-bench -study datacenter -churns 0,500   # override the churn sweep
 //
 // The chaos study sweeps deterministic fault-injection intensity
-// (-intensities) against every memory manager and runs with the
-// runner's degradation machinery: failed cells become annotated holes
-// (-fail-fast reverts to abort-on-first-error), -cell-timeout bounds a
-// cell's wall clock and -retries re-runs host-transient failures. A
-// SIGINT/SIGTERM cancels the grid, flushes partial -metrics/-trace-out
-// artifacts and exits non-zero.
+// (-intensities) against every memory manager. The datacenter study
+// (DESIGN.md §11) sweeps pod churn rate (-churns, pods/sec) against
+// chaos intensity on one mixed-tenancy node — a kubelet-style agent
+// admitting THP/HugeTLBfs/HPMMAP pods against per-zone hugepage
+// budgets while an HPC victim runs — and reports per-class
+// fault-latency tails (p50/p99/p999) plus interference vs the quiet
+// cell; -out also writes a long-format datacenter.csv. Both studies
+// run with the runner's degradation machinery: failed cells become
+// annotated holes (-fail-fast reverts to abort-on-first-error),
+// -cell-timeout bounds a cell's wall clock and -retries re-runs
+// host-transient failures. A SIGINT/SIGTERM cancels the grid, flushes
+// partial -metrics/-trace-out artifacts and exits non-zero.
 //
 // Every experiment executes through the internal/runner worker pool:
 // -workers bounds the pool (0 = one worker per CPU) and results are
@@ -98,7 +106,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the experiment's cells")
 		seriesOut  = flag.String("series", "", "sample each cell's memory-state time series and write a long-format CSV to this file; sampling bypasses -cache-dir both ways")
 
-		studyFlag   = flag.String("study", "", "robustness study (runs instead of -exp): chaos = contention-storm sweep of chaos intensity x manager")
+		studyFlag   = flag.String("study", "", "robustness study (runs instead of -exp): chaos = contention-storm sweep of chaos intensity x manager; datacenter = mixed-tenancy pod-churn sweep with per-class tail latency")
+		churns      = flag.String("churns", "", "datacenter study: comma-separated pod arrival rates in pods/sec (default 0,50,200; 0 is the interference baseline)")
 		audit       = flag.Bool("audit", false, "chaos study: attach the invariant auditor to every cell's node (schedules extra events, so it changes sim_events_total)")
 		intensities = flag.String("intensities", "", "chaos study: comma-separated chaos intensities in [0,1] (default 0,0.25,0.5,0.75,1)")
 		chaosPoison = flag.Int("chaos-poison", -1, "chaos study: inject a deliberate invariant violation into this plan cell (>= 1) to drill the quarantine path; -1 = off")
@@ -232,9 +241,24 @@ func main() {
 
 	sc := experiments.Scale(*scale)
 
+	if *studyFlag == "datacenter" {
+		if err := runDatacenterStudy(datacenterStudyArgs{
+			ctx: ctx, obs: newObs(), cache: cache, progress: progress,
+			seed: *seed, scale: sc, runs: *runs, workers: *workers,
+			benches: splitList(*benches), cores: splitList(*cores),
+			churns: splitList(*churns), intensities: splitList(*intensities),
+			audit:       *audit,
+			cellTimeout: *cellTimeout, retries: *retries,
+			outDir: *outDir, writeArtifacts: writeArtifacts,
+		}); err != nil {
+			fatal("datacenter: %v\n", err)
+		}
+		stopProfiles()
+		return
+	}
 	if *studyFlag != "" {
 		if *studyFlag != "chaos" {
-			fmt.Fprintf(os.Stderr, "hpmmap-bench: unknown -study %q (supported: chaos)\n", *studyFlag)
+			fmt.Fprintf(os.Stderr, "hpmmap-bench: unknown -study %q (supported: chaos, datacenter)\n", *studyFlag)
 			os.Exit(2)
 		}
 		if err := runChaosStudy(chaosStudyArgs{
@@ -507,6 +531,85 @@ func runChaosStudy(a chaosStudyArgs) error {
 		return fmt.Errorf("%d cell(s) quarantined; the figure above has annotated holes", n)
 	}
 	return nil
+}
+
+// datacenterStudyArgs carries the flag surface into runDatacenterStudy.
+type datacenterStudyArgs struct {
+	ctx            context.Context
+	obs            *runner.Observations
+	cache          *runner.Cache
+	progress       func(string)
+	seed           uint64
+	scale          experiments.Scale
+	runs, workers  int
+	benches, cores []string
+	churns         []string
+	intensities    []string
+	audit          bool
+	cellTimeout    time.Duration
+	retries        int
+	outDir         string
+	writeArtifacts func(name string, obs *runner.Observations) error
+}
+
+// runDatacenterStudy drives the mixed-tenancy pod-churn study
+// (-study datacenter): churn rate x chaos intensity on one node
+// carrying THP, HugeTLBfs and HPMMAP tenants, tabulating per-class
+// tail fault latency and the HPC victim's interference. Artifacts are
+// flushed even when the run was interrupted.
+func runDatacenterStudy(a datacenterStudyArgs) error {
+	o := experiments.DatacenterStudyOptions{
+		Seed: a.seed, Scale: a.scale, Runs: a.runs,
+		Workers: a.workers, Context: a.ctx, Progress: a.progress,
+		Cache: a.cache, Obs: a.obs, Audit: a.audit,
+		CellTimeout: a.cellTimeout, Retries: a.retries,
+	}
+	if len(a.benches) > 0 {
+		o.Bench = a.benches[0]
+	}
+	if len(a.cores) > 0 {
+		v, err := strconv.Atoi(a.cores[0])
+		if err != nil {
+			return fmt.Errorf("bad -cores entry %q", a.cores[0])
+		}
+		o.Ranks = v
+	}
+	for _, s := range a.churns {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad -churns entry %q (want a rate >= 0 in pods/sec)", s)
+		}
+		o.Churns = append(o.Churns, v)
+	}
+	for _, s := range a.intensities {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 || v > 1 {
+			return fmt.Errorf("bad -intensities entry %q (want a number in [0,1])", s)
+		}
+		o.Intensities = append(o.Intensities, v)
+	}
+	s, err := experiments.DatacenterStudyRun(o)
+	if err != nil {
+		if aerr := a.writeArtifacts("datacenter", a.obs); aerr != nil {
+			fmt.Fprintf(os.Stderr, "datacenter: flushing partial artifacts: %v\n", aerr)
+		}
+		return err
+	}
+	experiments.WriteDatacenterStudy(os.Stdout, s)
+	if a.outDir != "" {
+		if err := os.MkdirAll(a.outDir, 0o755); err != nil {
+			return err
+		}
+		var buf strings.Builder
+		if err := experiments.WriteDatacenterCSV(&buf, s); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(a.outDir, "datacenter.csv"),
+			[]byte(buf.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return a.writeArtifacts("datacenter", a.obs)
 }
 
 // artifactPath splices the experiment name into path when several

@@ -19,7 +19,10 @@
 // -baseline <file> compares the fresh cells/sec against a committed
 // record and exits non-zero when throughput regressed more than
 // -regress-pct (default 10%) — the `make bench` regression gate that
-// keeps speedups pinned rather than anecdotal.
+// keeps speedups pinned rather than anecdotal. A missing baseline, or
+// one without a cells/sec figure (a pre-ISSUE-6 schema), is not a
+// regression: the run says so, skips the gate, and seeds a fresh
+// record for the next invocation to gate against.
 //
 // -cpuprofile / -memprofile write pprof profiles of the measured grid
 // (see EXPERIMENTS.md "Profiling the simulator" for the recipe).
@@ -121,11 +124,19 @@ func main() {
 			}
 			haveBaseline = true
 		case os.IsNotExist(err):
-			fmt.Fprintf(os.Stderr, "hpmmap-perf: baseline %s missing; seeding a fresh record\n", *baseline)
+			fmt.Fprintf(os.Stderr, "hpmmap-perf: baseline %s missing; seeding baseline, regression gate skipped this run\n", *baseline)
 		default:
 			fmt.Fprintf(os.Stderr, "hpmmap-perf: reading baseline: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	// A record without a cells/sec figure (zero value, or a schema from
+	// before the field existed) must not gate: a comparison against 0
+	// reads as an infinite speedup or a meaningless regression. Say why
+	// the gate is skipped instead of silently passing.
+	if haveBaseline && brec.CellsPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "hpmmap-perf: baseline %s has no cells/sec record; seeding baseline, regression gate skipped this run\n", *baseline)
+		haveBaseline = false
 	}
 
 	opts := func(obs *runner.Observations) experiments.Fig7Options {
@@ -234,20 +245,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%d cells x %d reps: bare %.2fs (%.2f cells/s), observed %.2fs (+%.1f%%), sampled %.2fs (sampler %+.1f%%, %.0f samples) -> %s\n",
+	fmt.Printf("%d cells x %d reps: bare %.2fs (%.2f cells/s), observed %.2fs (%+.1f%%), sampled %.2fs (sampler %+.1f%%, %.0f samples) -> %s\n",
 		cells, *reps, rec.BareSec, rec.CellsPerSec, rec.ObservedSec, rec.ObserveOverheadPct,
 		rec.SampledSec, rec.SamplerOverheadPct, samples, *out)
 
 	if haveBaseline {
-		if brec.CellsPerSec > 0 {
-			change := 100 * (rec.CellsPerSec - brec.CellsPerSec) / brec.CellsPerSec
-			fmt.Printf("baseline %s: %.2f cells/s -> %.2f cells/s (%+.1f%%)\n",
-				*baseline, brec.CellsPerSec, rec.CellsPerSec, change)
-			if change < -*regressPct {
-				fmt.Fprintf(os.Stderr, "hpmmap-perf: FAIL: cells/sec regressed %.1f%% (budget %.1f%%)\n",
-					-change, *regressPct)
-				os.Exit(1)
-			}
+		change := 100 * (rec.CellsPerSec - brec.CellsPerSec) / brec.CellsPerSec
+		fmt.Printf("baseline %s: %.2f cells/s -> %.2f cells/s (%+.1f%%)\n",
+			*baseline, brec.CellsPerSec, rec.CellsPerSec, change)
+		if change < -*regressPct {
+			fmt.Fprintf(os.Stderr, "hpmmap-perf: FAIL: cells/sec regressed %.1f%% (budget %.1f%%)\n",
+				-change, *regressPct)
+			os.Exit(1)
 		}
 	}
 }

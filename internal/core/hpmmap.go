@@ -63,6 +63,12 @@ type Manager struct {
 	AllocBookkeeping float64
 	PTSetupCost      float64
 
+	// regionPool and psPool recycle per-region and per-process structs
+	// for the kernel's lifecycle fast path (DetachReap) and Munmap churn,
+	// keeping block-slice and map capacity across pod lifecycles.
+	regionPool []*region
+	psPool     []*procState
+
 	// Statistics.
 	Registrations, MapCalls, UnmapCalls, BrkCalls uint64
 	BytesMapped                                   uint64
@@ -255,10 +261,36 @@ type procState struct {
 
 func state(p *kernel.Process) *procState { return p.MMState().(*procState) }
 
+// newRegion returns a region struct from the recycle pool (keeping its
+// blocks capacity) or a fresh one.
+func (m *Manager) newRegion() *region {
+	if n := len(m.regionPool); n > 0 {
+		r := m.regionPool[n-1]
+		m.regionPool[n-1] = nil
+		m.regionPool = m.regionPool[:n-1]
+		*r = region{blocks: r.blocks[:0]}
+		return r
+	}
+	return &region{}
+}
+
+// newProcState returns per-process state from the recycle pool or a
+// fresh struct.
+func (m *Manager) newProcState() *procState {
+	if n := len(m.psPool); n > 0 {
+		ps := m.psPool[n-1]
+		m.psPool[n-1] = nil
+		m.psPool = m.psPool[:n-1]
+		return ps
+	}
+	return &procState{regions: make(map[pgtable.VirtAddr]*region)}
+}
+
 // Attach implements kernel.MemoryManager: set up the lightweight address
 // space, including the eagerly mapped large-page stack.
 func (m *Manager) Attach(p *kernel.Process) error {
-	ps := &procState{regions: make(map[pgtable.VirtAddr]*region), cursor: RegionBase}
+	ps := m.newProcState()
+	ps.cursor = RegionBase
 	p.SetMMState(ps)
 	ps.brk = RegionBase + 0x1000_0000_0000 // heap sub-range
 	if _, _, err := m.mapAt(p, ps, ps.cursor, stackBytes, vma.KindStack); err != nil {
@@ -280,6 +312,26 @@ func (m *Manager) Detach(p *kernel.Process) {
 	delete(m.registry, p.PID)
 }
 
+// DetachReap implements kernel.ReapDetacher: identical teardown to
+// Detach — blocks freed region by region in mapping order, so the pool
+// free lists end in the same state — but the region structs and the
+// per-process state are recycled, and MMState is cleared so stale
+// post-exit calls fail loudly.
+func (m *Manager) DetachReap(p *kernel.Process) {
+	ps := state(p)
+	for _, start := range ps.order {
+		r := ps.regions[start]
+		m.release(p, r)
+		m.regionPool = append(m.regionPool, r)
+	}
+	clear(ps.regions)
+	ps.order = ps.order[:0]
+	ps.cursor, ps.heap, ps.brk = 0, nil, 0
+	m.psPool = append(m.psPool, ps)
+	p.SetMMState(nil)
+	delete(m.registry, p.PID)
+}
+
 func (m *Manager) release(p *kernel.Process, r *region) {
 	if r == nil {
 		return
@@ -298,7 +350,8 @@ func (m *Manager) release(p *kernel.Process, r *region) {
 	if m.node.Detail {
 		p.PT.UnmapRange(r.start, r.length)
 	}
-	r.blocks = nil
+	// Truncate rather than drop: pooled reuse keeps the capacity.
+	r.blocks = r.blocks[:0]
 	r.remote = 0
 }
 
@@ -312,7 +365,11 @@ func (m *Manager) mapAt(p *kernel.Process, ps *procState, at pgtable.VirtAddr, l
 	// qualify when the region itself is GB-aligned.
 	use1G := m.Use1GPages && uint64(at)%mem.HugePageSize == 0 && length >= mem.HugePageSize
 	n := length / mem.LargePageSize
-	r := &region{start: at, length: length, kind: kind, blocks: make([]block, 0, n)}
+	r := m.newRegion()
+	r.start, r.length, r.kind = at, length, kind
+	if uint64(cap(r.blocks)) < n {
+		r.blocks = make([]block, 0, n)
+	}
 	load := m.node.LoadFor(p)
 	var cost float64
 	fail := func(i uint64, err error) (*region, sim.Cycles, error) {
@@ -416,6 +473,9 @@ func (m *Manager) Munmap(p *kernel.Process, addr pgtable.VirtAddr, length uint64
 			ps.order = append(ps.order[:i], ps.order[i+1:]...)
 			break
 		}
+	}
+	if r != ps.heap {
+		m.regionPool = append(m.regionPool, r)
 	}
 	m.UnmapCalls++
 	return sim.Cycles(m.rand.Jitter(sim.Cycles(600+float64(blocks)*(m.AllocBookkeeping+m.PTSetupCost)), 0.05)), nil

@@ -1,0 +1,508 @@
+// Package datacenter is a kubelet-style orchestration agent for the
+// simulated node: it restates the paper's isolation claim at
+// cluster-orchestration scale (ROADMAP item 2). The agent pre-reserves
+// per-NUMA-zone hugepage budgets, admits short-lived "pods" — mixed
+// THP / HugeTLBfs / HPMMAP tenants with memory requests — by
+// deterministic bin-packing against those budgets, and drives pod
+// lifecycle churn at a configurable rate. Pods allocate and touch real
+// simulated memory through the ordinary manager paths, so their fault
+// tails and their interference with a resident HPC job emerge from
+// actual allocator/reclaim state, exactly like every other workload in
+// this repository.
+//
+// Determinism contract (mirrors internal/chaos): every draw comes from
+// a datacenter-dedicated SplitMix64 stream derived from the cell seed
+// under a distinct tag — never from the workload PRNG — so attaching an
+// agent perturbs the machine but not the workload's own random
+// choices, and a given (seed, Config) produces a byte-identical pod
+// schedule at any runner worker count. Each concern (churn timing, pod
+// specs, lifetimes, resident measurement) owns a Split substream carved
+// in a fixed order, and a rejected pod consumes exactly the same draws
+// as an admitted one, so admission pressure never shifts later specs.
+//
+// Pod teardown uses the kernel's lifecycle fast path (ExitReap): a pod
+// that has reached its scheduled end is quiescent by construction — it
+// has no tasks and no pending events of its own — which is precisely
+// the reuse contract of DESIGN.md §11.
+package datacenter
+
+import (
+	"fmt"
+
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/mem"
+	"hpmmap/internal/metrics"
+	"hpmmap/internal/pgtable"
+	"hpmmap/internal/sim"
+	"hpmmap/internal/vma"
+)
+
+// Class is the memory-manager tenancy of a pod.
+type Class int
+
+// Tenant classes, in draw order.
+const (
+	// ClassTHP pods run as commodity processes: the mixed-tenancy
+	// manager routes them to transparent huge pages.
+	ClassTHP Class = iota
+	// ClassHugeTLB pods run as non-commodity Linux processes backed by
+	// the pre-reserved hugetlbfs pools.
+	ClassHugeTLB
+	// ClassHPMMAP pods are launched through the HPMMAP registration
+	// tool and live entirely on the offlined pools.
+	ClassHPMMAP
+	// NumClasses counts the tenant classes.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassTHP:
+		return "thp"
+	case ClassHugeTLB:
+		return "hugetlbfs"
+	case ClassHPMMAP:
+		return "hpmmap"
+	}
+	return "?"
+}
+
+// dcTag separates the datacenter stream from every workload and chaos
+// stream derived from the same cell seed ("DCTR\n" | stream version 1).
+const dcTag = 0x444354520a000001
+
+// DeriveSeed maps a cell seed onto the datacenter-dedicated stream seed
+// via the SplitMix64 finalizer, exactly as chaos.DeriveSeed does under
+// its own tag.
+func DeriveSeed(cellSeed uint64) uint64 {
+	state := cellSeed ^ dcTag
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Config shapes the pod churn the agent drives.
+type Config struct {
+	// ChurnMeanPeriod is the mean inter-arrival of pod launches, in
+	// cycles. Zero disables churn entirely (Start attaches only the
+	// resident measurement pods).
+	ChurnMeanPeriod sim.Cycles
+
+	// PodMeanLifetime is the mean pod lifetime, drawn exponentially.
+	PodMeanLifetime sim.Cycles
+
+	// PodBytes is the nominal pod memory request; individual pods
+	// jitter ±50% around it and round up to 2MB.
+	PodBytes uint64
+
+	// ZoneBudgetBytes is the per-NUMA-zone hugepage budget the agent
+	// pre-reserves for admission (the kubelet's allocatable hugepages).
+	// Zero derives a quarter of each zone's physical memory.
+	ZoneBudgetBytes uint64
+
+	// ResidentBytes is the working set of each class's long-lived
+	// measurement pod. Zero disables the resident pods.
+	ResidentBytes uint64
+
+	// ResidentPeriod is the interval at which each resident pod
+	// remeasures: munmap its region, mmap it again, and touch it in 2MB
+	// slices, observing per-slice fault latency. Zero selects
+	// ChurnMeanPeriod (or a quarter second when churn is off too).
+	ResidentPeriod sim.Cycles
+}
+
+// DefaultConfig returns the study's standard churn shape: pod arrivals
+// every ~5ms of 2.2GHz simulated time, ~30ms lifetimes, 64MB requests,
+// and 32MB resident measurement pods.
+func DefaultConfig() Config {
+	return Config{
+		ChurnMeanPeriod: 11_000_000,
+		PodMeanLifetime: 66_000_000,
+		PodBytes:        64 << 20,
+		ResidentBytes:   32 << 20,
+	}
+}
+
+// Launcher launches an HPMMAP-registered process (implemented by
+// core.Manager). Nil means ClassHPMMAP pods are skipped at draw time —
+// their draws are still consumed.
+type Launcher interface {
+	Launch(name string, preferredZone int) (*kernel.Process, error)
+}
+
+// pod is one live tenant.
+type pod struct {
+	p     *kernel.Process
+	class Class
+	zone  int
+	bytes uint64
+	done  bool
+}
+
+// Agent is the kubelet-style node agent.
+type Agent struct {
+	cfg  Config
+	node *kernel.Node
+	eng  *sim.Engine
+	hp   Launcher
+	rnd  *sim.Rand
+
+	// Per-concern substreams, carved in a fixed order at New.
+	churnRand, specRand, lifeRand, residentRand *sim.Rand
+
+	// budget and allocated track per-zone admission bookkeeping.
+	budget    uint64
+	allocated []uint64
+
+	pods    []*pod
+	stopped bool
+	seq     int
+
+	// resident measurement pods, one per class.
+	resident [NumClasses]*residentPod
+
+	// Statistics (always counted; mirrored to metrics when observed).
+	Launched  [NumClasses]uint64
+	Rejected  uint64
+	Completed uint64
+	OOMKilled uint64
+	Running   int
+
+	// TouchHist observes per-2MB-slice first-touch fault latency by
+	// class — the per-manager tail the datacenter study tabulates.
+	// MmapHist observes per-mmap system-call cost by class.
+	TouchHist [NumClasses]metrics.Histogram
+	MmapHist  [NumClasses]metrics.Histogram
+
+	m struct {
+		launched  *metrics.Counter
+		rejected  *metrics.Counter
+		completed *metrics.Counter
+		oomKilled *metrics.Counter
+		touch     *metrics.Histogram
+	}
+}
+
+// residentPod is a long-lived measurement tenant that repeatedly remaps
+// and re-touches its working set so the touch histograms keep sampling
+// the node's current allocator state.
+type residentPod struct {
+	class  Class
+	proc   *kernel.Process
+	addr   pgtable.VirtAddr
+	mapped uint64
+	ticker *sim.Ticker
+}
+
+// New creates an agent for the node. hp may be nil (ClassHPMMAP pods
+// are then dropped at launch, draws intact). seed is the
+// datacenter-dedicated stream seed (DeriveSeed of the cell seed).
+func New(cfg Config, node *kernel.Node, hp Launcher, seed uint64) *Agent {
+	if cfg.PodMeanLifetime <= 0 {
+		cfg.PodMeanLifetime = DefaultConfig().PodMeanLifetime
+	}
+	if cfg.PodBytes == 0 {
+		cfg.PodBytes = DefaultConfig().PodBytes
+	}
+	if cfg.ResidentPeriod <= 0 {
+		if cfg.ChurnMeanPeriod > 0 {
+			cfg.ResidentPeriod = cfg.ChurnMeanPeriod
+		} else {
+			cfg.ResidentPeriod = 550_000_000
+		}
+	}
+	a := &Agent{
+		cfg:       cfg,
+		node:      node,
+		eng:       node.Engine(),
+		hp:        hp,
+		rnd:       sim.NewRand(seed),
+		allocated: make([]uint64, node.Config().NumaZones),
+	}
+	// Fixed split order — see the determinism contract above.
+	a.churnRand = a.rnd.Split()
+	a.specRand = a.rnd.Split()
+	a.lifeRand = a.rnd.Split()
+	a.residentRand = a.rnd.Split()
+	a.budget = cfg.ZoneBudgetBytes
+	if a.budget == 0 {
+		a.budget = node.Config().MemoryBytes / uint64(node.Config().NumaZones) / 4
+	}
+	return a
+}
+
+// Observe registers the agent's metric handles. Nil-safe; call before
+// Start so the first pods are counted.
+func (a *Agent) Observe(reg *metrics.Registry) {
+	if a == nil {
+		return
+	}
+	a.m.launched = reg.Counter(metrics.DatacenterPodsLaunchedTotal)
+	a.m.rejected = reg.Counter(metrics.DatacenterPodsRejectedTotal)
+	a.m.completed = reg.Counter(metrics.DatacenterPodsCompletedTotal)
+	a.m.oomKilled = reg.Counter(metrics.DatacenterPodsOOMKilledTotal)
+	a.m.touch = reg.Histogram(metrics.DatacenterPodTouchCycles)
+	reg.GaugeFunc(metrics.DatacenterPodsRunning, func() float64 { return float64(a.Running) })
+	reg.GaugeFunc(metrics.DatacenterAdmittedBytes, func() float64 {
+		var t uint64
+		for _, b := range a.allocated {
+			t += b
+		}
+		return float64(t)
+	})
+}
+
+// Start attaches the churn loop and the resident measurement pods.
+func (a *Agent) Start() {
+	if a.cfg.ResidentBytes > 0 {
+		for c := Class(0); c < NumClasses; c++ {
+			a.startResident(c)
+		}
+	}
+	if a.cfg.ChurnMeanPeriod > 0 {
+		var step func()
+		step = func() {
+			if a.stopped {
+				return
+			}
+			a.launchPod()
+			if !a.stopped {
+				a.eng.Schedule(a.interval(), step)
+			}
+		}
+		a.eng.Schedule(a.interval(), step)
+	}
+}
+
+// Stop halts churn and tears down every live pod (plain Exit: the run
+// is ending and nothing needs the recycled structs).
+func (a *Agent) Stop() {
+	if a == nil || a.stopped {
+		return
+	}
+	a.stopped = true
+	for _, r := range a.resident {
+		if r == nil {
+			continue
+		}
+		if r.ticker != nil {
+			r.ticker.Stop()
+		}
+		if r.proc != nil && !r.proc.Exited {
+			a.node.Exit(r.proc)
+		}
+	}
+	for _, pd := range a.pods {
+		if pd.done {
+			continue
+		}
+		pd.done = true
+		a.release(pd)
+		if !pd.p.Exited {
+			a.node.Exit(pd.p)
+		}
+	}
+	a.pods = nil
+	a.Running = 0
+}
+
+func (a *Agent) interval() sim.Cycles {
+	d := sim.Cycles(a.churnRand.Exponential(float64(a.cfg.ChurnMeanPeriod)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// admit bin-packs a request against the per-zone budgets: the zone with
+// the most free budget wins, ties to the lowest index — a deterministic
+// worst-fit that spreads tenants like the kubelet's NUMA-aware
+// hugepages admission. Returns the zone, or -1 when no zone fits.
+func (a *Agent) admit(bytes uint64) int {
+	best, bestFree := -1, uint64(0)
+	for z := range a.allocated {
+		free := uint64(0)
+		if a.allocated[z] < a.budget {
+			free = a.budget - a.allocated[z]
+		}
+		if free >= bytes && free > bestFree {
+			best, bestFree = z, free
+		}
+	}
+	if best >= 0 {
+		a.allocated[best] += bytes
+	}
+	return best
+}
+
+func (a *Agent) release(pd *pod) {
+	a.allocated[pd.zone] -= pd.bytes
+}
+
+// launchPod draws one pod spec, admits it, and runs its lifecycle. All
+// spec draws happen before the admission branch so a rejected pod
+// consumes exactly the draws an admitted one would.
+func (a *Agent) launchPod() {
+	class := Class(a.specRand.Intn(int(NumClasses)))
+	bytes := uint64(a.specRand.Jitter(sim.Cycles(a.cfg.PodBytes), 0.5))
+	bytes = roundUp2M(bytes)
+	if bytes < 16<<20 {
+		bytes = 16 << 20
+	}
+	lifetime := sim.Cycles(a.lifeRand.Exponential(float64(a.cfg.PodMeanLifetime)))
+	if lifetime < 1 {
+		lifetime = 1
+	}
+
+	zone := a.admit(bytes)
+	if zone < 0 {
+		a.Rejected++
+		a.m.rejected.Inc()
+		return
+	}
+	a.seq++
+	p, err := a.spawn(class, fmt.Sprintf("pod-%s.%d", class, a.seq), zone)
+	if err != nil || p == nil {
+		// Launch failure (no HPMMAP module, pool exhausted): the
+		// request was admitted but never became a tenant.
+		a.release(&pod{zone: zone, bytes: bytes})
+		a.Rejected++
+		a.m.rejected.Inc()
+		return
+	}
+	pd := &pod{p: p, class: class, zone: zone, bytes: bytes}
+	a.pods = append(a.pods, pd)
+	a.Launched[class]++
+	a.Running++
+	a.m.launched.Inc()
+
+	addr, cost, err := a.node.Mmap(p, bytes, pgtable.ProtRead|pgtable.ProtWrite, vma.KindAnon)
+	if err == nil {
+		a.MmapHist[class].Observe(uint64(cost))
+		a.touchSlices(p, class, addr, bytes)
+	}
+	a.eng.Schedule(lifetime, func() { a.endPod(pd) })
+}
+
+// spawn creates the pod process on the class's manager path.
+func (a *Agent) spawn(class Class, name string, zone int) (*kernel.Process, error) {
+	switch class {
+	case ClassTHP:
+		return a.node.NewProcess(name, true, zone)
+	case ClassHugeTLB:
+		return a.node.NewProcess(name, false, zone)
+	case ClassHPMMAP:
+		if a.hp == nil {
+			return nil, nil
+		}
+		return a.hp.Launch(name, zone)
+	}
+	return nil, fmt.Errorf("datacenter: unknown class %d", class)
+}
+
+// touchSlices first-touches [addr, addr+bytes) in 2MB slices, observing
+// each slice's fault service time into the class tail histogram. An
+// error (the OOM killer took the pod mid-touch) ends the walk.
+func (a *Agent) touchSlices(p *kernel.Process, class Class, addr pgtable.VirtAddr, bytes uint64) {
+	for off := uint64(0); off < bytes; off += mem.LargePageSize {
+		n := uint64(mem.LargePageSize)
+		if off+n > bytes {
+			n = bytes - off
+		}
+		st, err := a.node.TouchRange(p, addr+pgtable.VirtAddr(off), n)
+		if err != nil {
+			return
+		}
+		c := uint64(st.Total())
+		a.TouchHist[class].Observe(c)
+		a.m.touch.Observe(c)
+	}
+}
+
+// endPod completes a pod's lifecycle: release its admission, then
+// recycle the process through the lifecycle fast path. A pod the OOM
+// killer already took counts as OOMKilled instead of Completed.
+func (a *Agent) endPod(pd *pod) {
+	if pd.done || a.stopped {
+		return
+	}
+	pd.done = true
+	a.release(pd)
+	a.Running--
+	if pd.p.Exited {
+		a.OOMKilled++
+		a.m.oomKilled.Inc()
+		return
+	}
+	a.node.ExitReap(pd.p)
+	a.Completed++
+	a.m.completed.Inc()
+}
+
+// startResident launches one class's long-lived measurement pod and its
+// remeasurement ticker. A pod lost to the OOM killer is relaunched on
+// the next tick (the agent restarts failed tenants, kubelet-style).
+func (a *Agent) startResident(class Class) {
+	r := &residentPod{class: class}
+	a.resident[class] = r
+	// Stagger the classes' phases deterministically so their
+	// measurement windows interleave rather than align.
+	offset := a.cfg.ResidentPeriod * sim.Cycles(class+1) / sim.Cycles(NumClasses+1)
+	a.eng.Schedule(offset+1, func() {
+		a.remeasure(r)
+		r.ticker = a.eng.NewTicker(a.cfg.ResidentPeriod, func() { a.remeasure(r) })
+	})
+}
+
+// remeasure runs one measurement cycle for a resident pod: drop the old
+// region, map a fresh one, and fault it in slice by slice under
+// whatever pressure the node is currently under.
+func (a *Agent) remeasure(r *residentPod) {
+	if a.stopped {
+		return
+	}
+	if r.proc != nil && r.proc.Exited {
+		// The OOM killer took the measurement pod: relaunch it.
+		r.proc, r.mapped = nil, 0
+	}
+	if r.proc == nil {
+		a.seq++
+		p, err := a.spawn(r.class, fmt.Sprintf("pod-resident-%s.%d", r.class, a.seq), a.residentRand.Intn(len(a.allocated)))
+		if err != nil || p == nil {
+			return
+		}
+		r.proc = p
+	}
+	if r.mapped > 0 {
+		if _, err := a.node.Munmap(r.proc, r.addr, r.mapped); err != nil {
+			return
+		}
+		r.mapped = 0
+	}
+	bytes := roundUp2M(a.cfg.ResidentBytes)
+	if bytes < 16<<20 {
+		bytes = 16 << 20
+	}
+	addr, cost, err := a.node.Mmap(r.proc, bytes, pgtable.ProtRead|pgtable.ProtWrite, vma.KindAnon)
+	if err != nil {
+		return
+	}
+	a.MmapHist[r.class].Observe(uint64(cost))
+	r.addr, r.mapped = addr, bytes
+	a.touchSlices(r.proc, r.class, addr, bytes)
+}
+
+// LaunchedTotal sums admitted pods across classes.
+func (a *Agent) LaunchedTotal() uint64 {
+	var t uint64
+	for _, v := range a.Launched {
+		t += v
+	}
+	return t
+}
+
+func roundUp2M(v uint64) uint64 {
+	return (v + mem.LargePageSize - 1) / mem.LargePageSize * mem.LargePageSize
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpmmap/internal/datacenter"
+	"hpmmap/internal/runner"
+)
+
+func tinyDCOpts() DatacenterStudyOptions {
+	return DatacenterStudyOptions{
+		Bench:       "HPCCG",
+		Churns:      []float64{0, 200},
+		Intensities: []float64{0, 1},
+		Ranks:       2,
+		Runs:        1,
+		Seed:        77,
+		Scale:       0.1,
+	}
+}
+
+func TestDatacenterStudySmall(t *testing.T) {
+	s, err := DatacenterStudyRun(tinyDCOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("want 4 grid points, got %d", len(s.Points))
+	}
+	for _, pt := range s.Points {
+		if pt.MeanSec <= 0 {
+			t.Fatalf("churn %g intensity %g: non-positive mean %f", pt.Churn, pt.Intensity, pt.MeanSec)
+		}
+		for _, c := range pt.Cells {
+			if pt.Churn > 0 && c.Launched == 0 {
+				t.Fatalf("churn %g launched no pods", pt.Churn)
+			}
+			if pt.Churn == 0 && c.Launched != 0 {
+				t.Fatalf("churn 0 launched %d pods", c.Launched)
+			}
+			if c.Completed+c.OOMKilled > c.Launched {
+				t.Fatalf("pod accounting broken: %d completed + %d oom > %d launched",
+					c.Completed, c.OOMKilled, c.Launched)
+			}
+			// The paper's claim at orchestration scale: the resident
+			// measurement pods fault on the Linux-backed classes but the
+			// HPMMAP class pays at map time and faults never.
+			if c.Classes[datacenter.ClassTHP].Slices == 0 {
+				t.Fatal("no THP touch slices observed (resident pods missing?)")
+			}
+			if c.Classes[datacenter.ClassTHP].P99 == 0 {
+				t.Fatal("THP class shows a zero-cycle fault tail")
+			}
+			if c.Classes[datacenter.ClassHPMMAP].P999 != 0 {
+				t.Fatalf("HPMMAP class shows a fault tail (%d cycles); pool-backed touches must be free",
+					c.Classes[datacenter.ClassHPMMAP].P999)
+			}
+			if c.Barriers == 0 {
+				t.Fatal("attribution recorded no barriers")
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteDatacenterStudy(&buf, s)
+	out := buf.String()
+	for _, want := range []string{"Datacenter study", "mixed tenancy", "hpmmap", "hugetlbfs", "thp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("study output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteDatacenterCSV(&csv, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	wantRows := 1 + len(s.Points)*1*int(datacenter.NumClasses)
+	if len(lines) != wantRows {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), wantRows)
+	}
+}
+
+// TestDatacenterStudyDeterminism is the ISSUE 7 acceptance panel: the
+// rendered study and the merged metric snapshot must be byte-identical
+// across worker counts (1 vs 8) and across cold and warm cache.
+func TestDatacenterStudyDeterminism(t *testing.T) {
+	cache, err := runner.NewCache(t.TempDir(), ModelVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int, c *runner.Cache) (string, string) {
+		o := tinyDCOpts()
+		o.Workers = workers
+		o.Cache = c
+		o.Obs = runner.NewObservations(0)
+		s, err := DatacenterStudyRun(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tbl, met bytes.Buffer
+		WriteDatacenterStudy(&tbl, s)
+		if err := o.Obs.Merged().WriteText(&met); err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String(), met.String()
+	}
+	tblRef, metRef := render(1, nil) // no cache, serial: the reference
+	if tbl8, met8 := render(8, nil); tbl8 != tblRef || met8 != metRef {
+		t.Fatalf("Workers=8 differs from Workers=1:\n--- w1:\n%s\n--- w8:\n%s", tblRef, tbl8)
+	}
+	// Attaching a cache registers one extra plan-health counter
+	// (runner_cache_corrupt_total), so cache runs compare the table
+	// against the reference and the metrics against each other.
+	tblCold, metCold := render(1, cache)
+	if tblCold != tblRef {
+		t.Fatalf("cold cache table differs from reference:\n--- ref:\n%s\n--- cold:\n%s", tblRef, tblCold)
+	}
+	tblWarm, metWarm := render(8, cache)
+	if tblWarm != tblRef {
+		t.Fatalf("warm cache table differs from reference:\n--- ref:\n%s\n--- warm:\n%s", tblRef, tblWarm)
+	}
+	if metWarm != metCold {
+		t.Fatal("merged metrics differ between cold and warm cache (replayed snapshots incomplete)")
+	}
+}
+
+// TestDatacenterExitUnderChaos drives pod teardown with the chaos
+// injector at full intensity and the invariant auditor attached: pods
+// are OOM-killed mid-lifetime (exercising the plain-Exit path), the
+// survivors reap through the lifecycle pools, and the auditor must see
+// a consistent machine throughout.
+func TestDatacenterExitUnderChaos(t *testing.T) {
+	o := tinyDCOpts()
+	o.Churns = []float64{400}
+	o.Intensities = []float64{1}
+	o.Audit = true
+	o.Obs = runner.NewObservations(0)
+	s, err := DatacenterStudyRun(o)
+	if err != nil {
+		t.Fatalf("datacenter study under chaos+audit failed: %v", err)
+	}
+	c := s.Points[0].Cells[0]
+	if c.Launched == 0 {
+		t.Fatal("no pods launched")
+	}
+	snap := o.Obs.Merged()
+	if snap.CounterValue("invariant_checks_total") == 0 {
+		t.Fatal("auditor ran no checks")
+	}
+	if got := snap.CounterValue("invariant_violations_total"); got != 0 {
+		t.Fatalf("auditor counted %d violations during churn under chaos", got)
+	}
+	if snap.CounterValue("datacenter_pods_launched_total") != c.Launched {
+		t.Fatal("datacenter metrics disagree with the study cell")
+	}
+	if snap.CounterValue("kernel_lifecycle_reaps_total") == 0 {
+		t.Fatal("no pod went through the lifecycle fast path")
+	}
+}

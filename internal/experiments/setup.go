@@ -14,6 +14,7 @@ import (
 	"hpmmap/internal/chaos"
 	"hpmmap/internal/cluster"
 	"hpmmap/internal/core"
+	"hpmmap/internal/datacenter"
 	"hpmmap/internal/hugetlb"
 	"hpmmap/internal/invariant"
 	"hpmmap/internal/kernel"
@@ -44,6 +45,13 @@ const (
 	THP ManagerKind = iota
 	HugeTLBfs
 	HPMMAP
+	// Mixed is the datacenter tenancy configuration (not one of the
+	// paper's three): HugeTLBfs pools and the HPMMAP module coexist
+	// with THP on one node, so all three tenant classes of the
+	// datacenter study run side by side. Non-commodity Linux processes
+	// get the hugetlb pools, commodity processes get THP, and
+	// registered processes get HPMMAP's offlined memory.
+	Mixed
 )
 
 func (k ManagerKind) String() string {
@@ -54,6 +62,8 @@ func (k ManagerKind) String() string {
 		return "Linux (HugeTLBfs)"
 	case HPMMAP:
 		return "HPMMAP"
+	case Mixed:
+		return "Mixed tenancy"
 	}
 	return "?"
 }
@@ -68,6 +78,8 @@ func (k ManagerKind) Key() string {
 		return "hugetlbfs"
 	case HPMMAP:
 		return "hpmmap"
+	case Mixed:
+		return "mixed"
 	}
 	return "unknown"
 }
@@ -170,6 +182,38 @@ func (r *rig) install(kind ManagerKind, sc Scale) error {
 			return fmt.Errorf("experiments: hpmmap install: %w", err)
 		}
 		r.hp = hp
+	case Mixed:
+		// Datacenter tenancy: split the reservation budget between the
+		// hugetlb pools (a quarter) and HPMMAP's offlined memory (five
+		// eighths), leaving the rest to Linux; THP serves commodity
+		// processes as usual.
+		resv := offlineBytes(node.Config(), sc)
+		htlb := resv / 4
+		htlb -= htlb % (256 << 20)
+		if htlb < 256<<20 {
+			htlb = 256 << 20
+		}
+		hpB := resv * 5 / 8
+		hpB -= hpB % (256 << 20)
+		if hpB < 256<<20 {
+			hpB = 256 << 20
+		}
+		// Offline HPMMAP's memory first: section offlining needs the top
+		// of each zone untouched, and the hugetlb reservation below
+		// would otherwise fragment it.
+		hp, err := core.Install(node, hpB)
+		if err != nil {
+			return fmt.Errorf("experiments: hpmmap install: %w", err)
+		}
+		r.hp = hp
+		pools, err := hugetlb.Reserve(node.Mem, htlb)
+		if err != nil {
+			return fmt.Errorf("experiments: hugetlb reserve: %w", err)
+		}
+		node.SetReservedBytes(htlb)
+		r.mm = linuxmm.New(node, linuxmm.ModeHugeTLB, linuxmm.ModeTHP, pools)
+		node.SetDefaultMM(r.mm)
+		r.daemon = thp.Start(node, r.mm)
 	default:
 		return fmt.Errorf("experiments: unknown manager kind %d", kind)
 	}
@@ -442,6 +486,12 @@ type SingleRun struct {
 	// internal/timeline). Pure accounting on existing charges: no events,
 	// no PRNG draws, no cost-path changes.
 	Attribution *timeline.Attribution
+	// Datacenter, when non-nil, attaches the kubelet-style pod agent to
+	// the booted node: per-zone admission, mixed-tenancy pod churn from
+	// its own tagged substream, and per-class tail-latency histograms.
+	// The agent is stopped when the measured application completes and
+	// returned via RunOutcome.Datacenter.
+	Datacenter *datacenter.Config
 }
 
 // RunOutcome reports one completed run.
@@ -453,6 +503,9 @@ type RunOutcome struct {
 	// MeanPressure is the time-averaged memory pressure sampled during
 	// the run.
 	MeanPressure float64
+	// Datacenter is the pod agent after the run (counters and tail
+	// histograms), when SingleRun.Datacenter attached one.
+	Datacenter *datacenter.Agent
 }
 
 // ExecuteSingleNode performs one single-node run (the unit of Figure 7,
@@ -541,6 +594,16 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 		rs.Chaos.Observe(rs.Metrics)
 		rs.Chaos.Attach(rig.node)
 	}
+	var dcAgent *datacenter.Agent
+	if rs.Datacenter != nil {
+		var hp datacenter.Launcher
+		if rig.hp != nil {
+			hp = rig.hp
+		}
+		dcAgent = datacenter.New(*rs.Datacenter, rig.node, hp, datacenter.DeriveSeed(rs.Seed))
+		dcAgent.Observe(rs.Metrics)
+		dcAgent.Start()
+	}
 	var auditor *invariant.Auditor
 	if rs.Audit {
 		auditor = newNodeAuditor(rig, rs.Metrics)
@@ -590,8 +653,9 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 		if stopExtra != nil {
 			stopExtra()
 		}
-		// Chaos releases everything it still holds, so end-of-run audits
-		// and accounting see a clean machine.
+		// The agent and chaos release everything they still hold, so
+		// end-of-run audits and accounting see a clean machine.
+		dcAgent.Stop()
 		rs.Chaos.Stop()
 		done = true
 	})
@@ -607,6 +671,7 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 	out := RunOutcome{
 		RuntimeSec: rig.node.Config().Seconds(float64(res.Runtime)),
 		Result:     res,
+		Datacenter: dcAgent,
 	}
 	if pn > 0 {
 		out.MeanPressure = psum / float64(pn)

@@ -47,6 +47,18 @@ type MemoryManager interface {
 	StackRange(p *Process, bytes uint64) (pgtable.VirtAddr, uint64)
 }
 
+// ReapDetacher is optionally implemented by memory managers that can
+// recycle their per-process bookkeeping on a quiescent exit. ExitReap
+// prefers DetachReap over Detach when the node's lifecycle pooling is
+// enabled; the call must free exactly the same frames in exactly the
+// same order as Detach (the pinned-output contract of DESIGN.md §10 —
+// buddy free order feeds future allocation addresses), and afterwards
+// the process's MMState must be nil so stale post-exit manager calls
+// fail loudly instead of corrupting recycled state.
+type ReapDetacher interface {
+	DetachReap(p *Process)
+}
+
 // TouchStats aggregates the faults charged by a TouchRange call.
 type TouchStats struct {
 	Faults [fault.NumKinds]uint64

@@ -26,9 +26,13 @@ type Node struct {
 	interpose Interposer
 
 	procs   map[int]*Process
-	tasks   []*Task
 	nextPID int
 	nextTID int
+
+	// pool holds recycled Process/Task structs for the lifecycle fast
+	// path (lifecycle.go); poolLifecycle gates it (default on).
+	pool          lifecyclePools
+	poolLifecycle bool
 
 	// runningCommodity counts commodity-process tasks currently on a
 	// runqueue, maintained by arrive/depart so LoadFor reads a summary
@@ -61,6 +65,11 @@ type Node struct {
 	PCAllocFails   uint64
 	ReclaimedPages uint64
 	OOMKills       uint64
+	// Lifecycle fast-path counters: ExitReap calls that went through the
+	// pooled teardown, and Process/Task structs served from the pools.
+	LifecycleReaps      uint64
+	LifecycleProcReuses uint64
+	LifecycleTaskReuses uint64
 
 	// obs holds the node's metric handles and tracer; nil (the
 	// zero-overhead default) until Observe is called.
@@ -127,6 +136,8 @@ func NewNode(cfg MachineConfig, eng *sim.Engine, rnd *sim.Rand) *Node {
 		nextPID:   100,
 		pageCache: make([]pcQueue, cfg.NumaZones),
 		pcPages:   make([]uint64, cfg.NumaZones),
+
+		poolLifecycle: true,
 	}
 	n.cores = make([]core, cfg.Cores)
 	perZone := cfg.Cores / cfg.NumaZones
@@ -192,14 +203,27 @@ func (n *Node) NewProcess(name string, commodity bool, preferredZone int) (*Proc
 	if n.defaultMM == nil {
 		return nil, fmt.Errorf("kernel: no default memory manager installed")
 	}
-	p := &Process{
-		PID:           n.nextPID,
-		Name:          name,
-		node:          n,
-		Space:         vma.NewSpace(vma.DefaultLayout()),
-		PT:            pgtable.New(),
-		PreferredZone: preferredZone % n.cfg.NumaZones,
-		Commodity:     commodity,
+	p := n.procStruct()
+	if p != nil {
+		// Recycled struct: reset the retained Space and page table to
+		// newborn state, then fill in identity. The remaining fields were
+		// zeroed at reap time.
+		p.Space.Reset(vma.DefaultLayout())
+		p.PID = n.nextPID
+		p.Name = name
+		p.node = n
+		p.PreferredZone = preferredZone % n.cfg.NumaZones
+		p.Commodity = commodity
+	} else {
+		p = &Process{
+			PID:           n.nextPID,
+			Name:          name,
+			node:          n,
+			Space:         vma.NewSpace(vma.DefaultLayout()),
+			PT:            pgtable.New(),
+			PreferredZone: preferredZone % n.cfg.NumaZones,
+			Commodity:     commodity,
+		}
 	}
 	if n.obs != nil {
 		p.PT.Instrument(n.obs.ptWalks, n.obs.ptDepth)
@@ -253,14 +277,24 @@ func (n *Node) Fork(parent *Process, name string) (*Process, sim.Cycles, error) 
 	if !ok {
 		return nil, 0, ErrForkUnsupported
 	}
-	child := &Process{
-		PID:           n.nextPID,
-		Name:          name,
-		node:          n,
-		Space:         parent.Space.Clone(),
-		PT:            pgtable.New(),
-		PreferredZone: parent.PreferredZone,
-		Commodity:     parent.Commodity,
+	child := n.procStruct()
+	if child != nil {
+		parent.Space.CloneInto(child.Space)
+		child.PID = n.nextPID
+		child.Name = name
+		child.node = n
+		child.PreferredZone = parent.PreferredZone
+		child.Commodity = parent.Commodity
+	} else {
+		child = &Process{
+			PID:           n.nextPID,
+			Name:          name,
+			node:          n,
+			Space:         parent.Space.Clone(),
+			PT:            pgtable.New(),
+			PreferredZone: parent.PreferredZone,
+			Commodity:     parent.Commodity,
+		}
 	}
 	if n.obs != nil {
 		child.PT.Instrument(n.obs.ptWalks, n.obs.ptDepth)
@@ -277,12 +311,15 @@ func (n *Node) Fork(parent *Process, name string) (*Process, sim.Cycles, error) 
 
 // NewTask creates a task for the process. pinned is a core ID or -1.
 func (n *Node) NewTask(p *Process, pinned int, bwWeight float64) *Task {
-	t := &Task{ID: n.nextTID, Proc: p, Pinned: pinned, BandwidthWeight: bwWeight, cur: 0}
+	t := n.taskStruct()
+	if t == nil {
+		t = &Task{}
+	}
+	*t = Task{ID: n.nextTID, Proc: p, Pinned: pinned, BandwidthWeight: bwWeight}
 	if pinned >= 0 {
 		t.cur = pinned
 	}
 	n.nextTID++
-	n.tasks = append(n.tasks, t)
 	p.tasks = append(p.tasks, t)
 	return t
 }

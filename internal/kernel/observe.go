@@ -90,6 +90,9 @@ func (n *Node) Observe(reg *metrics.Registry, tr *metrics.ChromeTracer) {
 	reg.CounterFunc(metrics.KernelReclaimedPagesTotal, func() uint64 { return n.ReclaimedPages })
 	reg.CounterFunc(metrics.KernelOOMKillsTotal, func() uint64 { return n.OOMKills })
 	reg.CounterFunc(metrics.KernelPagecacheAllocFailsTotal, func() uint64 { return n.PCAllocFails })
+	reg.CounterFunc(metrics.KernelLifecycleReapsTotal, func() uint64 { return n.LifecycleReaps })
+	reg.CounterFunc(metrics.KernelLifecycleProcReusesTotal, func() uint64 { return n.LifecycleProcReuses })
+	reg.CounterFunc(metrics.KernelLifecycleTaskReusesTotal, func() uint64 { return n.LifecycleTaskReuses })
 	reg.GaugeFunc(metrics.KernelPagecachePages, func() float64 {
 		var pages uint64
 		for z := range n.pcPages {

@@ -64,10 +64,10 @@ type Process struct {
 	// mmState lets the owning memory manager stash per-process state.
 	mmState any
 
-	// tasks holds this process's tasks in creation order — the same
-	// relative order they hold in the node-wide list, so the load
-	// snapshot's per-task float arithmetic is unchanged by iterating the
-	// short list instead of every task ever created.
+	// tasks holds this process's tasks in creation order (nextTID order),
+	// so the load snapshot's per-task float arithmetic is deterministic.
+	// On a quiescent ExitReap both the Task structs and this slice's
+	// backing array are recycled (lifecycle.go).
 	tasks []*Task
 	// running counts this process's tasks currently on a runqueue.
 	running int

@@ -44,19 +44,15 @@ func (m *Manager) Fork(parent, child *kernel.Process) (sim.Cycles, error) {
 			cps.stack.touched = pr.touched
 			continue
 		}
-		cr := &region{
-			start:   pr.start,
-			length:  pr.length,
-			prot:    pr.prot,
-			kind:    pr.kind,
-			largeLo: pr.largeLo, largeHi: pr.largeHi,
-			hugetlb:   pr.hugetlb,
-			heapStyle: pr.heapStyle,
-			// cow: frames are the parent's until written. The child owns
-			// no pages yet (touched=0); its writes take COW faults that
-			// allocate a private frame and copy.
-			cow: pr.touched,
-		}
+		cr := m.newRegion()
+		cr.start, cr.length, cr.prot, cr.kind = pr.start, pr.length, pr.prot, pr.kind
+		cr.largeLo, cr.largeHi = pr.largeLo, pr.largeHi
+		cr.hugetlb = pr.hugetlb
+		cr.heapStyle = pr.heapStyle
+		// cow: frames are the parent's until written. The child owns no
+		// pages yet (touched=0); its writes take COW faults that allocate
+		// a private frame and copy.
+		cr.cow = pr.touched
 		cps.insert(cr)
 		if pr == pps.heap {
 			cps.heap = cr
@@ -81,6 +77,7 @@ func (m *Manager) Exec(p *kernel.Process) (sim.Cycles, error) {
 		}
 		m.releaseRegion(p, r)
 		ps.remove(start)
+		m.regionPool = append(m.regionPool, r)
 		released++
 		if err := p.Space.Unmap(r.start, r.length); err != nil {
 			return 0, err

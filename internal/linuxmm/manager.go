@@ -94,6 +94,10 @@ type Manager struct {
 	// every mmap cycle (ISSUE 6 hot-path contract).
 	tc         touchCtx
 	regionPool []*region
+	// psPool recycles per-process state for the kernel's lifecycle fast
+	// path (DetachReap): the regions map and starts slice keep their
+	// capacity across pod/compile churn.
+	psPool []*procState
 
 	// Scratch buffers for gatedAllocRun (block PFNs and per-zone run
 	// segments), reused across calls.
@@ -264,19 +268,32 @@ func (m *Manager) newRegion() *region {
 	return &region{}
 }
 
+// newProcState returns per-process state from the recycle pool (keeping
+// its map and slice capacity) or a fresh struct.
+func (m *Manager) newProcState() *procState {
+	if n := len(m.psPool); n > 0 {
+		ps := m.psPool[n-1]
+		m.psPool[n-1] = nil
+		m.psPool = m.psPool[:n-1]
+		return ps
+	}
+	return &procState{regions: make(map[pgtable.VirtAddr]*region)}
+}
+
 // Attach implements kernel.MemoryManager.
 func (m *Manager) Attach(p *kernel.Process) error {
-	ps := &procState{mode: m.modeFor(p), regions: make(map[pgtable.VirtAddr]*region)}
+	ps := m.newProcState()
+	ps.mode = m.modeFor(p)
 	// The stack region: fixed ceiling, grows down, always 4KB pages
 	// (HugeTLBfs cannot map stacks; THP does not back stacks either).
 	layout := p.Space.Layout()
-	ps.stack = &region{
-		start:  layout.StackTop - pgtable.VirtAddr(layout.StackMax),
-		length: layout.StackMax,
-		prot:   pgtable.ProtRead | pgtable.ProtWrite,
-		kind:   vma.KindStack,
-		down:   true,
-	}
+	stack := m.newRegion()
+	stack.start = layout.StackTop - pgtable.VirtAddr(layout.StackMax)
+	stack.length = layout.StackMax
+	stack.prot = pgtable.ProtRead | pgtable.ProtWrite
+	stack.kind = vma.KindStack
+	stack.down = true
+	ps.stack = stack
 	ps.insert(ps.stack)
 	p.SetMMState(ps)
 	m.procs = append(m.procs, p)
@@ -291,6 +308,34 @@ func (m *Manager) Detach(p *kernel.Process) {
 		m.releaseRegion(p, ps.regions[start])
 		ps.remove(start)
 	}
+	for i, q := range m.procs {
+		if q == p {
+			m.procs = append(m.procs[:i], m.procs[i+1:]...)
+			break
+		}
+	}
+}
+
+// DetachReap implements kernel.ReapDetacher: same teardown as Detach —
+// frames freed region by region in ascending start order, so the buddy
+// free lists end in the identical state — but the region structs and the
+// per-process state are recycled rather than dropped, and MMState is
+// cleared so a stale post-exit call fails loudly instead of reading
+// recycled state.
+func (m *Manager) DetachReap(p *kernel.Process) {
+	ps := state(p)
+	for _, start := range ps.starts {
+		r := ps.regions[start]
+		m.releaseRegion(p, r)
+		m.regionPool = append(m.regionPool, r)
+	}
+	clear(ps.regions)
+	ps.starts = ps.starts[:0]
+	ps.stack, ps.heap = nil, nil
+	ps.mergeCursor = 0
+	ps.mode = 0
+	m.psPool = append(m.psPool, ps)
+	p.SetMMState(nil)
 	for i, q := range m.procs {
 		if q == p {
 			m.procs = append(m.procs[:i], m.procs[i+1:]...)

@@ -131,6 +131,35 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum
 }
 
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1) of the
+// observed values: the inclusive upper bound of the log2 bucket holding
+// the ⌈q·count⌉-th smallest observation. Log2 buckets make this a
+// factor-of-two estimate, which is exactly the resolution the tail
+// tables need — p99 moving a bucket means the tail doubled. Returns 0
+// on an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			_, hi := BucketBounds(i)
+			return hi
+		}
+	}
+	_, hi := BucketBounds(NumBuckets - 1)
+	return hi
+}
+
 // BucketBounds returns the inclusive value range [lo, hi] of bucket i.
 func BucketBounds(i int) (lo, hi uint64) {
 	if i <= 0 {

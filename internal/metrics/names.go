@@ -132,6 +132,22 @@ const (
 	ChaosStragglersTotal         = "chaos_stragglers_total"
 	ChaosStragglerCycles         = "chaos_straggler_cycles"
 
+	// kernel lifecycle fast-path counters (internal/kernel lifecycle.go).
+	KernelLifecycleReapsTotal      = "kernel_lifecycle_reaps_total"
+	KernelLifecycleProcReusesTotal = "kernel_lifecycle_proc_reuses_total"
+	KernelLifecycleTaskReusesTotal = "kernel_lifecycle_task_reuses_total"
+
+	// datacenter_* — the kubelet-style orchestration agent
+	// (internal/datacenter). Present only when a run attaches an agent;
+	// never part of the baseline figure pipeline.
+	DatacenterPodsLaunchedTotal  = "datacenter_pods_launched_total"
+	DatacenterPodsRejectedTotal  = "datacenter_pods_rejected_total"
+	DatacenterPodsCompletedTotal = "datacenter_pods_completed_total"
+	DatacenterPodsOOMKilledTotal = "datacenter_pods_oom_killed_total"
+	DatacenterPodsRunning        = "datacenter_pods_running"
+	DatacenterAdmittedBytes      = "datacenter_admitted_bytes"
+	DatacenterPodTouchCycles     = "datacenter_pod_touch_cycles"
+
 	// invariant_* — the opt-in consistency auditor (internal/invariant).
 	InvariantChecksTotal     = "invariant_checks_total"
 	InvariantViolationsTotal = "invariant_violations_total"

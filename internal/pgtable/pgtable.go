@@ -140,6 +140,16 @@ func New() *Table {
 	return &Table{TablePages: 1}
 }
 
+// Reset returns the table to its New() state so the struct can be
+// recycled across process lifecycles (kernel.ExitReap). The node tree is
+// dropped for the collector rather than scrubbed: roots are lazy, so a
+// reset table is indistinguishable from a fresh one — the next Map
+// materializes a clean root. Instrument handles are cleared too; owners
+// re-instrument on reuse exactly as they do on creation.
+func (t *Table) Reset() {
+	*t = Table{TablePages: 1}
+}
+
 // rootNode returns the root, materializing it on first use.
 func (t *Table) rootNode() *node {
 	if t.root == nil {

@@ -118,9 +118,30 @@ type Space struct {
 
 	brk pgtable.VirtAddr // current program break
 
+	// pool recycles VMA nodes dropped by Reset, merges and unmaps. No
+	// *VMA escapes this package's callers' hands past the operation that
+	// returned it, so a dropped node can be reused immediately.
+	pool []*VMA
+
 	// Statistics.
 	Maps, Unmaps, Splits, Merges uint64
 }
+
+// newVMA pops a recycled node (zeroed) or allocates one.
+func (s *Space) newVMA() *VMA {
+	k := len(s.pool)
+	if k == 0 {
+		return new(VMA)
+	}
+	v := s.pool[k-1]
+	s.pool[k-1] = nil
+	s.pool = s.pool[:k-1]
+	*v = VMA{}
+	return v
+}
+
+// recycle returns a node dropped from s.vmas to the pool.
+func (s *Space) recycle(v *VMA) { s.pool = append(s.pool, v) }
 
 // NewSpace creates an address space with an empty heap and a minimal
 // stack VMA.
@@ -130,6 +151,35 @@ func NewSpace(layout Layout) *Space {
 	stackLow := layout.StackTop - pgtable.VirtAddr(128<<10)
 	s.insert(&VMA{Start: stackLow, End: layout.StackTop, Prot: pgtable.ProtRead | pgtable.ProtWrite, Kind: KindStack})
 	return s
+}
+
+// Reset restores the space to its NewSpace state — empty heap, the
+// initial 128KB stack VMA, zeroed statistics — while keeping the vmas
+// slice's backing array and recycling one VMA struct, so a pooled
+// process lifecycle (kernel.ExitReap) re-attaches without reallocating
+// the address-space skeleton.
+func (s *Space) Reset(layout Layout) {
+	old := s.vmas
+	var stack *VMA
+	if len(old) > 0 {
+		stack = old[0]
+		for i := 1; i < len(old); i++ {
+			s.recycle(old[i])
+			old[i] = nil
+		}
+	} else {
+		stack = new(VMA)
+	}
+	*stack = VMA{
+		Start: layout.StackTop - pgtable.VirtAddr(128<<10),
+		End:   layout.StackTop,
+		Prot:  pgtable.ProtRead | pgtable.ProtWrite,
+		Kind:  KindStack,
+	}
+	s.vmas = append(old[:0], stack)
+	s.layout = layout
+	s.brk = layout.BrkStart
+	s.Maps, s.Unmaps, s.Splits, s.Merges = 0, 0, 0, 0
 }
 
 // Layout returns the fixed layout.
@@ -252,7 +302,8 @@ func (s *Space) MapAligned(addr pgtable.VirtAddr, length uint64, prot pgtable.Pr
 			return nil, fmt.Errorf("vma: fixed map [%#x,+%#x) overlaps", uint64(addr), length)
 		}
 	}
-	v := &VMA{Start: addr, End: addr + pgtable.VirtAddr(length), Prot: prot, Kind: kind}
+	v := s.newVMA()
+	v.Start, v.End, v.Prot, v.Kind = addr, addr+pgtable.VirtAddr(length), prot, kind
 	s.insert(v)
 	s.Maps++
 	s.mergeAround(v)
@@ -283,12 +334,14 @@ func (s *Space) mergeAround(v *VMA) {
 	// Merge with next.
 	if i+1 < len(s.vmas) && canMerge(v, s.vmas[i+1]) {
 		v.End = s.vmas[i+1].End
+		s.recycle(s.vmas[i+1])
 		s.vmas = append(s.vmas[:i+1], s.vmas[i+2:]...)
 		s.Merges++
 	}
 	// Merge with previous.
 	if i > 0 && canMerge(s.vmas[i-1], v) {
 		s.vmas[i-1].End = v.End
+		s.recycle(v)
 		s.vmas = append(s.vmas[:i], s.vmas[i+1:]...)
 		s.Merges++
 	}
@@ -311,19 +364,25 @@ func (s *Space) Unmap(addr pgtable.VirtAddr, length uint64) error {
 			continue
 		}
 		s.Unmaps++
-		// Left remainder.
-		if v.Start < addr {
-			left := *v
-			left.End = addr
-			out = append(out, &left)
+		left, right := v.Start < addr, v.End > end
+		switch {
+		case left && right:
+			r := s.newVMA()
+			*r = *v
+			r.Start = end
+			v.End = addr
+			out = append(out, v, r)
+			s.Splits += 2
+		case left:
+			v.End = addr
+			out = append(out, v)
 			s.Splits++
-		}
-		// Right remainder.
-		if v.End > end {
-			right := *v
-			right.Start = end
-			out = append(out, &right)
+		case right:
+			v.Start = end
+			out = append(out, v)
 			s.Splits++
+		default:
+			s.recycle(v)
 		}
 	}
 	s.vmas = out
@@ -460,6 +519,33 @@ func (s *Space) Clone() *Space {
 		c.vmas[i] = &cp
 	}
 	return c
+}
+
+// CloneInto deep-copies the space into dst — the same state Clone
+// produces, but reusing dst's VMA slice and structs so a pooled fork
+// (kernel.ExitReap recycling) allocates nothing when capacities suffice.
+// dst's statistics are zeroed, matching a freshly Cloned space.
+func (s *Space) CloneInto(dst *Space) {
+	old := dst.vmas
+	vmas := old[:0]
+	for i, v := range s.vmas {
+		var cp *VMA
+		if i < len(old) {
+			cp = old[i]
+		}
+		if cp == nil {
+			cp = new(VMA)
+		}
+		*cp = *v
+		vmas = append(vmas, cp)
+	}
+	for i := len(s.vmas); i < len(old); i++ {
+		old[i] = nil
+	}
+	dst.vmas = vmas
+	dst.layout = s.layout
+	dst.brk = s.brk
+	dst.Maps, dst.Unmaps, dst.Splits, dst.Merges = 0, 0, 0, 0
 }
 
 // CheckInvariants verifies ordering and non-overlap; used in tests.

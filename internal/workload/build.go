@@ -175,7 +175,10 @@ func (b *Build) worker(id int) {
 			b.node.PageCacheAdd(zone, b.spec.FilePerCompile)
 			b.Compiles++
 			t.Finish()
-			b.node.Exit(p)
+			// Quiescent exit: the compile task just finished and no event
+			// closure references p afterwards, so the lifecycle fast path
+			// may recycle the process structs.
+			b.node.ExitReap(p)
 			if b.stopped {
 				return
 			}
