@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet lint bench chaos datacenter
+.PHONY: verify build test race vet lint bench chaos datacenter eviction
 
 verify: build test race vet lint
 
@@ -65,3 +65,9 @@ chaos:
 # with the CSV dropped into ./out for inspection.
 datacenter:
 	$(GO) run ./cmd/hpmmap-bench -study datacenter -scale 0.25 -audit -v -out out
+
+# Overcommit x node-failure eviction study (DESIGN.md §12). Scale 0.1
+# with -cores 2: at this scale the default 4-rank victim oversubscribes
+# the HPMMAP zone budget.
+eviction:
+	$(GO) run ./cmd/hpmmap-bench -study eviction -scale 0.1 -cores 2 -audit -v -out out

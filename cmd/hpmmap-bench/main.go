@@ -18,6 +18,8 @@
 //	hpmmap-bench -study chaos -chaos-poison 3      # quarantine drill: poison cell 3
 //	hpmmap-bench -study datacenter -out out        # pod churn x chaos, CSV to out/
 //	hpmmap-bench -study datacenter -churns 0,500   # override the churn sweep
+//	hpmmap-bench -study eviction -out out          # overcommit x node failures
+//	hpmmap-bench -study eviction -overcommits 1,2  # override the overcommit sweep
 //
 // The chaos study sweeps deterministic fault-injection intensity
 // (-intensities) against every memory manager. The datacenter study
@@ -26,7 +28,15 @@
 // admitting THP/HugeTLBfs/HPMMAP pods against per-zone hugepage
 // budgets while an HPC victim runs — and reports per-class
 // fault-latency tails (p50/p99/p999) plus interference vs the quiet
-// cell; -out also writes a long-format datacenter.csv. Both studies
+// cell; -out also writes a long-format datacenter.csv. The eviction
+// study (DESIGN.md §12) sweeps limits:requests overcommit
+// (-overcommits) against node-failure chaos intensity on the same
+// mixed-tenancy node: the agent admits pods by request, usage grows to
+// the limit, and the pressure-driven eviction engine sheds
+// lowest-priority pods while zone outages displace survivors; every
+// cell reports per-priority eviction/restart counts, the crash-loop
+// backoff distribution, per-class fault tails and victim interference,
+// and -out also writes a long-format eviction.csv. All studies
 // run with the runner's degradation machinery: failed cells become
 // annotated holes (-fail-fast reverts to abort-on-first-error),
 // -cell-timeout bounds a cell's wall clock and -retries re-runs
@@ -106,8 +116,9 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the experiment's cells")
 		seriesOut  = flag.String("series", "", "sample each cell's memory-state time series and write a long-format CSV to this file; sampling bypasses -cache-dir both ways")
 
-		studyFlag   = flag.String("study", "", "robustness study (runs instead of -exp): chaos = contention-storm sweep of chaos intensity x manager; datacenter = mixed-tenancy pod-churn sweep with per-class tail latency")
-		churns      = flag.String("churns", "", "datacenter study: comma-separated pod arrival rates in pods/sec (default 0,50,200; 0 is the interference baseline)")
+		studyFlag   = flag.String("study", "", "robustness study (runs instead of -exp): chaos = contention-storm sweep of chaos intensity x manager; datacenter = mixed-tenancy pod-churn sweep with per-class tail latency; eviction = overcommit x node-failure sweep with per-priority eviction and crash-loop backoff")
+		churns      = flag.String("churns", "", "datacenter study: comma-separated pod arrival rates in pods/sec (default 0,50,200; 0 is the interference baseline); eviction study: single fixed rate (default 200)")
+		overcommits = flag.String("overcommits", "", "eviction study: comma-separated limits:requests overcommit ratios (default 1,1.5,2; 1 disables the failure domain and is the interference baseline)")
 		audit       = flag.Bool("audit", false, "chaos study: attach the invariant auditor to every cell's node (schedules extra events, so it changes sim_events_total)")
 		intensities = flag.String("intensities", "", "chaos study: comma-separated chaos intensities in [0,1] (default 0,0.25,0.5,0.75,1)")
 		chaosPoison = flag.Int("chaos-poison", -1, "chaos study: inject a deliberate invariant violation into this plan cell (>= 1) to drill the quarantine path; -1 = off")
@@ -256,9 +267,25 @@ func main() {
 		stopProfiles()
 		return
 	}
+	if *studyFlag == "eviction" {
+		if err := runEvictionStudy(evictionStudyArgs{
+			ctx: ctx, obs: newObs(), cache: cache, progress: progress,
+			seed: *seed, scale: sc, runs: *runs, workers: *workers,
+			benches: splitList(*benches), cores: splitList(*cores),
+			overcommits: splitList(*overcommits), intensities: splitList(*intensities),
+			churns:      splitList(*churns),
+			audit:       *audit,
+			cellTimeout: *cellTimeout, retries: *retries,
+			outDir: *outDir, writeArtifacts: writeArtifacts,
+		}); err != nil {
+			fatal("eviction: %v\n", err)
+		}
+		stopProfiles()
+		return
+	}
 	if *studyFlag != "" {
 		if *studyFlag != "chaos" {
-			fmt.Fprintf(os.Stderr, "hpmmap-bench: unknown -study %q (supported: chaos, datacenter)\n", *studyFlag)
+			fmt.Fprintf(os.Stderr, "hpmmap-bench: unknown -study %q (supported: chaos, datacenter, eviction)\n", *studyFlag)
 			os.Exit(2)
 		}
 		if err := runChaosStudy(chaosStudyArgs{
@@ -610,6 +637,94 @@ func runDatacenterStudy(a datacenterStudyArgs) error {
 		}
 	}
 	return a.writeArtifacts("datacenter", a.obs)
+}
+
+// evictionStudyArgs carries the flag surface into runEvictionStudy.
+type evictionStudyArgs struct {
+	ctx            context.Context
+	obs            *runner.Observations
+	cache          *runner.Cache
+	progress       func(string)
+	seed           uint64
+	scale          experiments.Scale
+	runs, workers  int
+	benches, cores []string
+	overcommits    []string
+	intensities    []string
+	churns         []string
+	audit          bool
+	cellTimeout    time.Duration
+	retries        int
+	outDir         string
+	writeArtifacts func(name string, obs *runner.Observations) error
+}
+
+// runEvictionStudy drives the failure-domain study (-study eviction):
+// limits:requests overcommit x node-failure chaos intensity on one
+// mixed-tenancy node, tabulating per-priority eviction and crash-loop
+// restart counts, the backoff distribution, per-class fault tails and
+// the HPC victim's interference. Artifacts are flushed even when the
+// run was interrupted.
+func runEvictionStudy(a evictionStudyArgs) error {
+	o := experiments.EvictionStudyOptions{
+		Seed: a.seed, Scale: a.scale, Runs: a.runs,
+		Workers: a.workers, Context: a.ctx, Progress: a.progress,
+		Cache: a.cache, Obs: a.obs, Audit: a.audit,
+		CellTimeout: a.cellTimeout, Retries: a.retries,
+	}
+	if len(a.benches) > 0 {
+		o.Bench = a.benches[0]
+	}
+	if len(a.cores) > 0 {
+		v, err := strconv.Atoi(a.cores[0])
+		if err != nil {
+			return fmt.Errorf("bad -cores entry %q", a.cores[0])
+		}
+		o.Ranks = v
+	}
+	for _, s := range a.overcommits {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad -overcommits entry %q (want a ratio >= 1)", s)
+		}
+		o.Overcommits = append(o.Overcommits, v)
+	}
+	for _, s := range a.intensities {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 || v > 1 {
+			return fmt.Errorf("bad -intensities entry %q (want a number in [0,1])", s)
+		}
+		o.Chaos = append(o.Chaos, v)
+	}
+	if len(a.churns) > 0 {
+		v, err := strconv.ParseFloat(a.churns[0], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -churns entry %q (want a rate > 0 in pods/sec)", a.churns[0])
+		}
+		o.Churn = v
+	}
+	s, err := experiments.EvictionStudyRun(o)
+	if err != nil {
+		if aerr := a.writeArtifacts("eviction", a.obs); aerr != nil {
+			fmt.Fprintf(os.Stderr, "eviction: flushing partial artifacts: %v\n", aerr)
+		}
+		return err
+	}
+	experiments.WriteEvictionStudy(os.Stdout, s)
+	if a.outDir != "" {
+		if err := os.MkdirAll(a.outDir, 0o755); err != nil {
+			return err
+		}
+		var buf strings.Builder
+		if err := experiments.WriteEvictionCSV(&buf, s); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(a.outDir, "eviction.csv"),
+			[]byte(buf.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return a.writeArtifacts("eviction", a.obs)
 }
 
 // artifactPath splices the experiment name into path when several

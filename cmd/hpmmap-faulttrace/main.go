@@ -3,13 +3,20 @@
 // with and without a competing kernel build, under a chosen memory
 // manager. It prints the fault-cost table, renders the timeline scatter,
 // and optionally dumps every fault as CSV.
+//
+// A SIGINT/SIGTERM cancels the study: whatever the completed cells
+// observed is flushed to the -metrics/-trace-out/-series artifacts and
+// the process exits non-zero (the hpmmap-bench contract).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/fault"
@@ -51,15 +58,22 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fs, err := experiments.RunFaultStudy(experiments.FaultStudyOptions{
-		Bench: *bench,
-		Kind:  kind,
-		Ranks: *ranks,
-		Seed:  *seed,
-		Scale: experiments.Scale(*scale),
-		Obs:   obs,
+		Bench:   *bench,
+		Kind:    kind,
+		Ranks:   *ranks,
+		Seed:    *seed,
+		Scale:   experiments.Scale(*scale),
+		Obs:     obs,
+		Context: ctx,
 	})
 	if err != nil {
+		// Interrupted or failed: flush whatever the completed cells
+		// observed before exiting non-zero.
+		writeArtifacts(obs, *metricsOut, *traceOut, *seriesOut)
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -4,13 +4,20 @@
 // same instrumentation the figure pipelines use: -metrics snapshots the
 // cell's registry, -trace-out writes a Chrome trace, -series samples
 // the memory-state time series.
+//
+// A SIGINT/SIGTERM cancels the cell: whatever it observed up to the
+// cancellation point is flushed to the -metrics/-trace-out/-series
+// artifacts and the process exits non-zero (the hpmmap-bench contract).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/fault"
@@ -45,6 +52,9 @@ func main() {
 			series = timeline.NewSeries()
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	out, err := experiments.ExecuteSingleNode(experiments.SingleRun{
 		Bench:   spec,
 		Kind:    experiments.ManagerKind(*kind),
@@ -54,8 +64,11 @@ func main() {
 		Metrics: reg,
 		Tracer:  tracer,
 		Series:  series,
+		Context: ctx,
 	})
 	if err != nil {
+		// Interrupted or failed: flush the partial artifacts first.
+		writeArtifacts(reg, tracer, series, *metricsOut, *traceOut, *seriesOut)
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -75,6 +88,13 @@ func main() {
 		}
 	}
 
+	writeArtifacts(reg, tracer, series, *metricsOut, *traceOut, *seriesOut)
+}
+
+// writeArtifacts flushes the cell's observability outputs. Also called
+// on the error path, so an interrupted probe still leaves partial
+// artifacts behind. No-op per artifact whose flag was empty.
+func writeArtifacts(reg *metrics.Registry, tracer *metrics.ChromeTracer, series *timeline.Series, metricsOut, traceOut, seriesOut string) {
 	emit := func(path string, write func(*os.File) error) {
 		if path == "" {
 			return
@@ -90,19 +110,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 	if reg != nil {
-		emit(*metricsOut, func(f *os.File) error {
+		emit(metricsOut, func(f *os.File) error {
 			snap := reg.Snapshot()
-			if strings.HasSuffix(*metricsOut, ".json") {
+			if strings.HasSuffix(metricsOut, ".json") {
 				return snap.WriteJSON(f)
 			}
 			return snap.WriteText(f)
 		})
 	}
 	if tracer != nil {
-		emit(*traceOut, func(f *os.File) error { return metrics.WriteChromeTrace(f, tracer) })
+		emit(traceOut, func(f *os.File) error { return metrics.WriteChromeTrace(f, tracer) })
 	}
 	if series != nil {
-		emit(*seriesOut, func(f *os.File) error {
+		emit(seriesOut, func(f *os.File) error {
 			if _, err := fmt.Fprintln(f, timeline.SeriesCSVHeader); err != nil {
 				return err
 			}

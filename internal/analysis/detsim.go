@@ -60,6 +60,7 @@ var simPackages = map[string]bool{
 	modulePath + "/internal/experiments": true,
 	modulePath + "/internal/chaos":       true,
 	modulePath + "/internal/invariant":   true,
+	modulePath + "/internal/datacenter":  true,
 }
 
 // isSimPackage reports whether path is a simulated-state package.

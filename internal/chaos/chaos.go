@@ -39,13 +39,18 @@ type Config struct {
 	// 0 disables injection entirely (Attach becomes a no-op).
 	Intensity float64
 
-	// Per-family enables. DefaultConfig turns them all on.
+	// Per-family enables. DefaultConfig turns them all on, except
+	// NodeFails: zone outages are meaningless without an orchestration
+	// layer to displace the zone's tenants, so that family is opt-in
+	// (the eviction study enables it and wires the datacenter agent in
+	// via SetZoneFailHandler).
 	PressureSpikes bool // burst commodity allocations (anon hogs)
 	BuddyBursts    bool // high-order block theft from the buddy allocator
 	SwapFills      bool // swap-device slot exhaustion
 	PagecacheFills bool // flash-fill of the page cache (file I/O burst)
 	TLBStorms      bool // mm-lock / TLB-shootdown storms on Linux-managed mms
 	Stragglers     bool // delayed/dead peers in the BSP exchange
+	NodeFails      bool // node-level memory-hotplug failure (zone outage)
 
 	// MeanPeriod is the mean inter-arrival of each event family at
 	// Intensity 1, in cycles. Lower intensity stretches the gaps
@@ -116,6 +121,12 @@ type spikeProc struct {
 	done bool
 }
 
+// zoneOutage is one in-flight node-failure event.
+type zoneOutage struct {
+	zone      int
+	recovered bool
+}
+
 // Injector schedules chaos events on one node's engine.
 type Injector struct {
 	cfg  Config
@@ -126,8 +137,11 @@ type Injector struct {
 	eng  *sim.Engine
 
 	// Per-family substreams, carved in a fixed order at New so the
-	// enable set never shifts streams between families.
+	// enable set never shifts streams between families. nodefailRand
+	// postdates the original six and is carved after them, so adding the
+	// node-failure family left every existing schedule untouched.
 	spikeRand, buddyRand, swapRand, pcRand, tlbRand, stragglerRand *sim.Rand
+	nodefailRand                                                   *sim.Rand
 
 	stopped bool
 
@@ -137,29 +151,41 @@ type Injector struct {
 	// chaos substreams. Installed by SetAccounts.
 	accounts func(rank int) *timeline.Account
 
+	// zoneFail, when non-nil, is the orchestration layer's zone-outage
+	// hook (datacenter.Agent.ZoneFail). Installed by SetZoneFailHandler;
+	// a nil handler leaves node-failure events drawing from their
+	// substream but touching nothing.
+	zoneFail func(zone int, down bool)
+	// zoneIsDown tracks which zones the injector currently holds down,
+	// so outages never overlap and at least one zone always survives.
+	zoneIsDown []bool
+
 	// Outstanding resources, released on their scheduled events or all
 	// at once by Stop (in insertion order, for determinism).
-	blocks []*heldBlock
-	swaps  []*heldSwap
-	procs  []*spikeProc
+	blocks  []*heldBlock
+	swaps   []*heldSwap
+	procs   []*spikeProc
+	outages []*zoneOutage
 
 	// Statistics (always counted; mirrored to metrics when observed).
 	Events uint64
 
 	m struct {
-		events     *metrics.Counter
-		spikes     *metrics.Counter
-		spikeBytes *metrics.Counter
-		bursts     *metrics.Counter
-		burstPages *metrics.Counter
-		pcFills    *metrics.Counter
-		pcBytes    *metrics.Counter
-		swapFills  *metrics.Counter
-		swapPages  *metrics.Counter
-		tlbStorms  *metrics.Counter
-		tlbStalls  *metrics.Counter
-		stragglers *metrics.Counter
-		strCycles  *metrics.Histogram
+		events         *metrics.Counter
+		spikes         *metrics.Counter
+		spikeBytes     *metrics.Counter
+		bursts         *metrics.Counter
+		burstPages     *metrics.Counter
+		pcFills        *metrics.Counter
+		pcBytes        *metrics.Counter
+		swapFills      *metrics.Counter
+		swapPages      *metrics.Counter
+		tlbStorms      *metrics.Counter
+		tlbStalls      *metrics.Counter
+		stragglers     *metrics.Counter
+		strCycles      *metrics.Histogram
+		nodeFails      *metrics.Counter
+		nodeFailCycles *metrics.Histogram
 	}
 }
 
@@ -184,6 +210,7 @@ func New(cfg Config, cellSeed uint64) *Injector {
 	i.pcRand = i.rnd.Split()
 	i.tlbRand = i.rnd.Split()
 	i.stragglerRand = i.rnd.Split()
+	i.nodefailRand = i.rnd.Split()
 	return i
 }
 
@@ -206,6 +233,8 @@ func (i *Injector) Observe(reg *metrics.Registry) {
 	i.m.tlbStalls = reg.Counter(metrics.ChaosTLBStormStallsTotal)
 	i.m.stragglers = reg.Counter(metrics.ChaosStragglersTotal)
 	i.m.strCycles = reg.Histogram(metrics.ChaosStragglerCycles)
+	i.m.nodeFails = reg.Counter(metrics.ChaosNodeFailsTotal)
+	i.m.nodeFailCycles = reg.Histogram(metrics.ChaosNodeFailCycles)
 }
 
 // Attach starts the event loops on the node's engine. A zero-intensity
@@ -235,6 +264,10 @@ func (i *Injector) Attach(node *kernel.Node) {
 		}
 		if i.cfg.TLBStorms {
 			i.loop(i.tlbRand, i.tlbStorm)
+		}
+		if i.cfg.NodeFails {
+			i.zoneIsDown = make([]bool, len(node.Mem.Zones))
+			i.loop(i.nodefailRand, i.nodeFail)
 		}
 	}
 	if i.cfg.InjectViolation {
@@ -463,6 +496,62 @@ func (i *Injector) tlbStorm(r *sim.Rand) {
 	}
 }
 
+// nodeFail models node-level memory-hotplug failure: one NUMA zone
+// drops out at the orchestration level for an exponential hold, and the
+// installed handler (the datacenter agent) must evict or reschedule its
+// tenants onto the survivors. All draws happen before the handler
+// branch, so wiring a handler in (or not) never shifts this family's
+// schedule. The last healthy zone never fails — a node with no memory
+// is a different experiment.
+func (i *Injector) nodeFail(r *sim.Rand) {
+	zone := r.Intn(len(i.zoneIsDown))
+	hold := i.holdCycles(r)
+	if i.zoneIsDown[zone] {
+		return // already down: overlapping outages of one zone are one outage
+	}
+	up := 0
+	for _, down := range i.zoneIsDown {
+		if !down {
+			up++
+		}
+	}
+	if up <= 1 {
+		return
+	}
+	i.zoneIsDown[zone] = true
+	if i.m.nodeFails != nil {
+		i.m.nodeFails.Inc()
+		i.m.nodeFailCycles.Observe(uint64(hold))
+	}
+	o := &zoneOutage{zone: zone}
+	i.outages = append(i.outages, o)
+	if i.zoneFail != nil {
+		i.zoneFail(zone, true)
+	}
+	i.eng.Schedule(hold, func() { i.recoverZone(o) })
+}
+
+func (i *Injector) recoverZone(o *zoneOutage) {
+	if o.recovered {
+		return
+	}
+	o.recovered = true
+	i.zoneIsDown[o.zone] = false
+	if i.zoneFail != nil {
+		i.zoneFail(o.zone, false)
+	}
+}
+
+// SetZoneFailHandler installs the orchestration hook the node-failure
+// family drives (datacenter.Agent.ZoneFail). Safe on a nil injector; a
+// nil handler (the default) makes zone outages draw-only events.
+func (i *Injector) SetZoneFailHandler(fn func(zone int, down bool)) {
+	if i == nil {
+		return
+	}
+	i.zoneFail = fn
+}
+
 // WrapCommDelay decorates a BSP communication-delay function with
 // straggler injection: occasionally a peer is late (exponential tail)
 // or effectively dead for a while (a rejoin after node-level recovery,
@@ -532,5 +621,8 @@ func (i *Injector) Stop() {
 	}
 	for _, sp := range i.procs {
 		i.endSpike(sp)
+	}
+	for _, o := range i.outages {
+		i.recoverZone(o)
 	}
 }

@@ -220,3 +220,73 @@ func TestTLBStormSparesHPMMAPPath(t *testing.T) {
 		t.Fatal("TLB storm deposited no stall on a live process")
 	}
 }
+
+// TestNodeFailsDriveHandler exercises the opt-in node-failure family:
+// outages fire from their own substream, the installed handler sees a
+// down/up pair per outage, overlapping outages of one zone coalesce,
+// and at least one zone always survives.
+func TestNodeFailsDriveHandler(t *testing.T) {
+	node, eng := newNode(t, 7)
+	inj := New(Config{Intensity: 1, NodeFails: true, MeanPeriod: 100_000}, 31)
+	type ev struct {
+		zone int
+		down bool
+	}
+	var events []ev
+	downNow := make(map[int]bool)
+	zones := len(node.Mem.Zones)
+	inj.SetZoneFailHandler(func(zone int, down bool) {
+		events = append(events, ev{zone, down})
+		if down == downNow[zone] {
+			t.Fatalf("zone %d signalled %v twice in a row", zone, down)
+		}
+		downNow[zone] = down
+		up := 0
+		for z := 0; z < zones; z++ {
+			if !downNow[z] {
+				up++
+			}
+		}
+		if up == 0 {
+			t.Fatal("every zone down at once — the last healthy zone must never fail")
+		}
+	})
+	inj.Attach(node)
+	eng.RunUntil(50 * 100_000)
+	inj.Stop() // recovers any outage still in flight
+	if len(events) == 0 {
+		t.Fatal("no zone outages over 50 mean periods at intensity 1")
+	}
+	for z, down := range downNow {
+		if down {
+			t.Fatalf("zone %d still down after Stop", z)
+		}
+	}
+}
+
+// TestNodeFailsOffByDefaultAndMachineNeutral pins two contracts: the
+// family is opt-in (DefaultConfig leaves it off), and — because zone
+// outages are orchestration-level events drawn from their own substream
+// — enabling it with no handler leaves the machine state of every other
+// family byte-identical.
+func TestNodeFailsOffByDefaultAndMachineNeutral(t *testing.T) {
+	if DefaultConfig(1).NodeFails {
+		t.Fatal("NodeFails enabled by DefaultConfig — the family must be opt-in")
+	}
+	const horizon = 20 * DefaultMeanPeriod
+	base := DefaultConfig(0.75)
+	_, nodeA, _ := run(t, base, 1212, horizon)
+	withNF := base
+	withNF.NodeFails = true
+	injB, nodeB, _ := run(t, withNF, 1212, horizon)
+	fpA := "free=" + uitoa(nodeA.Mem.FreePages()) + " swap=" + uitoa(nodeA.Swap().UsedPages()) +
+		" pc=" + uitoa(nodeA.PageCachePages(0)+nodeA.PageCachePages(1))
+	fpB := "free=" + uitoa(nodeB.Mem.FreePages()) + " swap=" + uitoa(nodeB.Swap().UsedPages()) +
+		" pc=" + uitoa(nodeB.PageCachePages(0)+nodeB.PageCachePages(1))
+	if fpA != fpB {
+		t.Fatalf("enabling NodeFails shifted another family's machine state:\n  off: %s\n  on:  %s", fpA, fpB)
+	}
+	if injB.Events == 0 {
+		t.Fatal("injector with NodeFails fired no events")
+	}
+}

@@ -29,6 +29,7 @@ package datacenter
 import (
 	"fmt"
 
+	"hpmmap/internal/invariant"
 	"hpmmap/internal/kernel"
 	"hpmmap/internal/mem"
 	"hpmmap/internal/metrics"
@@ -111,6 +112,13 @@ type Config struct {
 	// slices, observing per-slice fault latency. Zero selects
 	// ChurnMeanPeriod (or a quarter second when churn is off too).
 	ResidentPeriod sim.Cycles
+
+	// Failure shapes the failure domain: requests-vs-limits overcommit,
+	// priority classes, the pressure-driven eviction engine, and
+	// crash-loop restart backoff (failure.go). The zero value disables
+	// all of it — requests equal limits and the agent behaves exactly as
+	// it did before the failure domain existed.
+	Failure FailureConfig
 }
 
 // DefaultConfig returns the study's standard churn shape: pod arrivals
@@ -137,8 +145,21 @@ type pod struct {
 	p     *kernel.Process
 	class Class
 	zone  int
-	bytes uint64
-	done  bool
+	// request is the admission charge (the pod's memory request); bytes
+	// is its limit — the usage it actually maps and touches. With the
+	// failure domain off the two are equal.
+	request uint64
+	bytes   uint64
+	prio    Priority
+	// lifetime and started let eviction/zone-failure displacement
+	// reschedule the pod for its remaining life, and feed the
+	// quiescent-uptime backoff reset.
+	lifetime sim.Cycles
+	started  sim.Cycles
+	// restarts counts consecutive involuntary deaths (evictions, zone
+	// failures, failed re-admissions) driving the crash-loop backoff.
+	restarts int
+	done     bool
 }
 
 // Agent is the kubelet-style node agent.
@@ -149,16 +170,29 @@ type Agent struct {
 	hp   Launcher
 	rnd  *sim.Rand
 
-	// Per-concern substreams, carved in a fixed order at New.
+	// Per-concern substreams, carved in a fixed order at New. prioRand
+	// and backoffRand postdate the original four and are carved after
+	// them, so enabling the failure domain never shifts the churn, spec,
+	// lifetime or resident draw sequences.
 	churnRand, specRand, lifeRand, residentRand *sim.Rand
+	prioRand, backoffRand                       *sim.Rand
 
-	// budget and allocated track per-zone admission bookkeeping.
+	// budget and allocated track per-zone admission bookkeeping
+	// (requests). Actual usage — which grows from request toward limit
+	// over a pod's lifetime and can overrun the budget under overcommit,
+	// the eviction signal — is computed on demand from the live pods
+	// (podUsage/zoneUsage in failure.go), never maintained incrementally.
 	budget    uint64
 	allocated []uint64
 
-	pods    []*pod
-	stopped bool
-	seq     int
+	// zoneDown marks zones lost to a node-failure chaos event; admission
+	// skips them until recovery.
+	zoneDown []bool
+
+	pods        []*pod
+	stopped     bool
+	seq         int
+	evictTicker *sim.Ticker
 
 	// resident measurement pods, one per class.
 	resident [NumClasses]*residentPod
@@ -170,6 +204,15 @@ type Agent struct {
 	OOMKilled uint64
 	Running   int
 
+	// Failure-domain statistics (failure.go).
+	Evicted        [NumPriorities]uint64
+	Restarts       [NumPriorities]uint64
+	Rescheduled    uint64
+	EvictionPasses uint64
+	ZoneFailures   uint64
+	// BackoffHist observes every crash-loop restart delay, in cycles.
+	BackoffHist metrics.Histogram
+
 	// TouchHist observes per-2MB-slice first-touch fault latency by
 	// class — the per-manager tail the datacenter study tabulates.
 	// MmapHist observes per-mmap system-call cost by class.
@@ -177,11 +220,16 @@ type Agent struct {
 	MmapHist  [NumClasses]metrics.Histogram
 
 	m struct {
-		launched  *metrics.Counter
-		rejected  *metrics.Counter
-		completed *metrics.Counter
-		oomKilled *metrics.Counter
-		touch     *metrics.Histogram
+		launched    *metrics.Counter
+		rejected    *metrics.Counter
+		completed   *metrics.Counter
+		oomKilled   *metrics.Counter
+		touch       *metrics.Histogram
+		evicted     *metrics.Counter
+		restarts    *metrics.Counter
+		rescheduled *metrics.Counter
+		evictPasses *metrics.Counter
+		backoff     *metrics.Histogram
 	}
 }
 
@@ -213,6 +261,7 @@ func New(cfg Config, node *kernel.Node, hp Launcher, seed uint64) *Agent {
 			cfg.ResidentPeriod = 550_000_000
 		}
 	}
+	cfg.Failure = cfg.Failure.withDefaults(cfg)
 	a := &Agent{
 		cfg:       cfg,
 		node:      node,
@@ -220,12 +269,15 @@ func New(cfg Config, node *kernel.Node, hp Launcher, seed uint64) *Agent {
 		hp:        hp,
 		rnd:       sim.NewRand(seed),
 		allocated: make([]uint64, node.Config().NumaZones),
+		zoneDown:  make([]bool, node.Config().NumaZones),
 	}
 	// Fixed split order — see the determinism contract above.
 	a.churnRand = a.rnd.Split()
 	a.specRand = a.rnd.Split()
 	a.lifeRand = a.rnd.Split()
 	a.residentRand = a.rnd.Split()
+	a.prioRand = a.rnd.Split()
+	a.backoffRand = a.rnd.Split()
 	a.budget = cfg.ZoneBudgetBytes
 	if a.budget == 0 {
 		a.budget = node.Config().MemoryBytes / uint64(node.Config().NumaZones) / 4
@@ -244,6 +296,11 @@ func (a *Agent) Observe(reg *metrics.Registry) {
 	a.m.completed = reg.Counter(metrics.DatacenterPodsCompletedTotal)
 	a.m.oomKilled = reg.Counter(metrics.DatacenterPodsOOMKilledTotal)
 	a.m.touch = reg.Histogram(metrics.DatacenterPodTouchCycles)
+	a.m.evicted = reg.Counter(metrics.DatacenterPodsEvictedTotal)
+	a.m.restarts = reg.Counter(metrics.DatacenterPodsRestartedTotal)
+	a.m.rescheduled = reg.Counter(metrics.DatacenterPodsRescheduledTotal)
+	a.m.evictPasses = reg.Counter(metrics.DatacenterEvictionPassesTotal)
+	a.m.backoff = reg.Histogram(metrics.DatacenterPodBackoffCycles)
 	reg.GaugeFunc(metrics.DatacenterPodsRunning, func() float64 { return float64(a.Running) })
 	reg.GaugeFunc(metrics.DatacenterAdmittedBytes, func() float64 {
 		var t uint64
@@ -254,8 +311,10 @@ func (a *Agent) Observe(reg *metrics.Registry) {
 	})
 }
 
-// Start attaches the churn loop and the resident measurement pods.
+// Start attaches the churn loop, the resident measurement pods, and —
+// when the failure domain is enabled — the eviction manager.
 func (a *Agent) Start() {
+	a.startEvictor()
 	if a.cfg.ResidentBytes > 0 {
 		for c := Class(0); c < NumClasses; c++ {
 			a.startResident(c)
@@ -283,6 +342,9 @@ func (a *Agent) Stop() {
 		return
 	}
 	a.stopped = true
+	if a.evictTicker != nil {
+		a.evictTicker.Stop()
+	}
 	for _, r := range a.resident {
 		if r == nil {
 			continue
@@ -320,30 +382,51 @@ func (a *Agent) interval() sim.Cycles {
 // the most free budget wins, ties to the lowest index — a deterministic
 // worst-fit that spreads tenants like the kubelet's NUMA-aware
 // hugepages admission. Returns the zone, or -1 when no zone fits.
-func (a *Agent) admit(bytes uint64) int {
+// Admission checks requests; usage (tracked separately, up to the
+// pod's limit) is what the eviction engine watches.
+func (a *Agent) admit(request uint64) int {
+	return a.admitExcluding(request, -1)
+}
+
+// admitExcluding is admit with one zone ruled out (the zone a
+// displaced pod is fleeing). Down zones never admit.
+func (a *Agent) admitExcluding(request uint64, exclude int) int {
 	best, bestFree := -1, uint64(0)
 	for z := range a.allocated {
+		if z == exclude || a.zoneDown[z] {
+			continue
+		}
 		free := uint64(0)
 		if a.allocated[z] < a.budget {
 			free = a.budget - a.allocated[z]
 		}
-		if free >= bytes && free > bestFree {
+		if free >= request && free > bestFree {
 			best, bestFree = z, free
 		}
 	}
 	if best >= 0 {
-		a.allocated[best] += bytes
+		a.allocated[best] += request
 	}
 	return best
 }
 
+// release returns a pod's admission charge to its zone, auditing the
+// books on the way out: an underflow here means a pod was
+// double-released or its charge was leaked across an eviction.
 func (a *Agent) release(pd *pod) {
-	a.allocated[pd.zone] -= pd.bytes
+	if a.allocated[pd.zone] < pd.request {
+		invariant.Failf("dc_admission_conservation", "datacenter",
+			"zone %d releasing request %d with only %d allocated",
+			pd.zone, pd.request, a.allocated[pd.zone])
+	}
+	a.allocated[pd.zone] -= pd.request
 }
 
 // launchPod draws one pod spec, admits it, and runs its lifecycle. All
 // spec draws happen before the admission branch so a rejected pod
-// consumes exactly the draws an admitted one would.
+// consumes exactly the draws an admitted one would. The priority draw
+// comes from its own substream (prioRand), so it never shifts the
+// class/size/lifetime sequences the original studies pinned.
 func (a *Agent) launchPod() {
 	class := Class(a.specRand.Intn(int(NumClasses)))
 	bytes := uint64(a.specRand.Jitter(sim.Cycles(a.cfg.PodBytes), 0.5))
@@ -355,35 +438,50 @@ func (a *Agent) launchPod() {
 	if lifetime < 1 {
 		lifetime = 1
 	}
+	prio := a.drawPriority()
+	request, limit := a.shapeRequest(class, prio, bytes)
 
-	zone := a.admit(bytes)
+	zone := a.admit(request)
 	if zone < 0 {
 		a.Rejected++
 		a.m.rejected.Inc()
 		return
 	}
+	a.startPod(class, prio, request, limit, lifetime, 0, zone, false)
+}
+
+// startPod spawns the pod process, maps and touches its limit, and
+// schedules its natural end. relaunch marks crash-loop restarts and
+// zone-failure reschedules, which are not new launches. The zone must
+// already hold the admission charge; a spawn failure returns it.
+// Returns the live pod, or nil.
+func (a *Agent) startPod(class Class, prio Priority, request, limit uint64, lifetime sim.Cycles, restarts, zone int, relaunch bool) *pod {
 	a.seq++
 	p, err := a.spawn(class, fmt.Sprintf("pod-%s.%d", class, a.seq), zone)
 	if err != nil || p == nil {
 		// Launch failure (no HPMMAP module, pool exhausted): the
 		// request was admitted but never became a tenant.
-		a.release(&pod{zone: zone, bytes: bytes})
+		a.release(&pod{zone: zone, request: request, bytes: limit})
 		a.Rejected++
 		a.m.rejected.Inc()
-		return
+		return nil
 	}
-	pd := &pod{p: p, class: class, zone: zone, bytes: bytes}
+	pd := &pod{p: p, class: class, zone: zone, request: request, bytes: limit,
+		prio: prio, lifetime: lifetime, started: a.eng.Now(), restarts: restarts}
 	a.pods = append(a.pods, pd)
-	a.Launched[class]++
 	a.Running++
-	a.m.launched.Inc()
+	if !relaunch {
+		a.Launched[class]++
+		a.m.launched.Inc()
+	}
 
-	addr, cost, err := a.node.Mmap(p, bytes, pgtable.ProtRead|pgtable.ProtWrite, vma.KindAnon)
+	addr, cost, err := a.node.Mmap(p, limit, pgtable.ProtRead|pgtable.ProtWrite, vma.KindAnon)
 	if err == nil {
 		a.MmapHist[class].Observe(uint64(cost))
-		a.touchSlices(p, class, addr, bytes)
+		a.touchSlices(p, class, addr, limit)
 	}
 	a.eng.Schedule(lifetime, func() { a.endPod(pd) })
+	return pd
 }
 
 // spawn creates the pod process on the class's manager path.

@@ -603,6 +603,9 @@ func executeSingle(rs SingleRun, extra func(node *kernel.Node) (stop func()), o 
 		dcAgent = datacenter.New(*rs.Datacenter, rig.node, hp, datacenter.DeriveSeed(rs.Seed))
 		dcAgent.Observe(rs.Metrics)
 		dcAgent.Start()
+		// Node-failure chaos displaces the agent's pods; the handler is
+		// draw-free on the chaos side, so wiring it changes no schedules.
+		rs.Chaos.SetZoneFailHandler(dcAgent.ZoneFail)
 	}
 	var auditor *invariant.Auditor
 	if rs.Audit {

@@ -94,7 +94,8 @@ func (n *Node) reap(p *Process) {
 	sp, pt := p.Space, p.PT
 	tasks := p.tasks[:0]
 	pmc := p.PendingMergeCosts[:0]
-	*p = Process{Space: sp, PT: pt, tasks: tasks, PendingMergeCosts: pmc}
+	pec := p.PendingEvictCosts[:0]
+	*p = Process{Space: sp, PT: pt, tasks: tasks, PendingMergeCosts: pmc, PendingEvictCosts: pec}
 	n.pool.procs = append(n.pool.procs, p)
 }
 

@@ -36,6 +36,13 @@ type Process struct {
 	// mm-lock windows have not yet been charged to a blocked fault; the
 	// next fault activity consumes them (one blocked fault per merge).
 	PendingMergeCosts []sim.Cycles
+	// PendingEvictCosts holds TLB-shootdown stalls deposited by
+	// datacenter eviction passes (the kubelet mass-unmapping a victim
+	// pod's address space broadcasts invalidation IPIs). Like merge
+	// costs, only the Linux fault path consumes them — HPMMAP processes
+	// are structurally immune — but the attributor reattributes the
+	// deposited share to timeline.CauseEvict.
+	PendingEvictCosts []sim.Cycles
 
 	// ResidentSmall/ResidentLarge track bytes currently mapped with 4KB
 	// and 2MB(+) pages respectively.

@@ -102,6 +102,16 @@ func (m *Manager) consumeMergeStalls(tc *touchCtx) {
 		tc.charge(m, fault.KindMergeBlocked, cost, tc.r.start, true)
 	}
 	p.PendingMergeCosts = p.PendingMergeCosts[:0]
+	for _, d := range p.PendingEvictCosts {
+		// Eviction shootdowns block the fault the same way a merge window
+		// does, but the deposited share is the evictor's doing: move it
+		// from the fault kind to the evict cause so barrier attribution
+		// names the kubelet, not khugepaged.
+		cost := d + m.costs().SmallFault(m.rand, tc.load)
+		tc.charge(m, fault.KindMergeBlocked, cost, tc.r.start, true)
+		p.Account.Reattribute(timeline.CauseMergeFault, timeline.CauseEvict, d)
+	}
+	p.PendingEvictCosts = p.PendingEvictCosts[:0]
 }
 
 func (m *Manager) costs() fault.CostParams { return m.node.Config().Costs }

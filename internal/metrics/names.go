@@ -131,6 +131,8 @@ const (
 	ChaosTLBStormStallsTotal     = "chaos_tlb_storm_stalls_total"
 	ChaosStragglersTotal         = "chaos_stragglers_total"
 	ChaosStragglerCycles         = "chaos_straggler_cycles"
+	ChaosNodeFailsTotal          = "chaos_node_fails_total"
+	ChaosNodeFailCycles          = "chaos_node_fail_cycles"
 
 	// kernel lifecycle fast-path counters (internal/kernel lifecycle.go).
 	KernelLifecycleReapsTotal      = "kernel_lifecycle_reaps_total"
@@ -140,13 +142,18 @@ const (
 	// datacenter_* — the kubelet-style orchestration agent
 	// (internal/datacenter). Present only when a run attaches an agent;
 	// never part of the baseline figure pipeline.
-	DatacenterPodsLaunchedTotal  = "datacenter_pods_launched_total"
-	DatacenterPodsRejectedTotal  = "datacenter_pods_rejected_total"
-	DatacenterPodsCompletedTotal = "datacenter_pods_completed_total"
-	DatacenterPodsOOMKilledTotal = "datacenter_pods_oom_killed_total"
-	DatacenterPodsRunning        = "datacenter_pods_running"
-	DatacenterAdmittedBytes      = "datacenter_admitted_bytes"
-	DatacenterPodTouchCycles     = "datacenter_pod_touch_cycles"
+	DatacenterPodsLaunchedTotal    = "datacenter_pods_launched_total"
+	DatacenterPodsRejectedTotal    = "datacenter_pods_rejected_total"
+	DatacenterPodsCompletedTotal   = "datacenter_pods_completed_total"
+	DatacenterPodsOOMKilledTotal   = "datacenter_pods_oom_killed_total"
+	DatacenterPodsRunning          = "datacenter_pods_running"
+	DatacenterAdmittedBytes        = "datacenter_admitted_bytes"
+	DatacenterPodTouchCycles       = "datacenter_pod_touch_cycles"
+	DatacenterPodsEvictedTotal     = "datacenter_pods_evicted_total"
+	DatacenterPodsRestartedTotal   = "datacenter_pods_restarted_total"
+	DatacenterPodsRescheduledTotal = "datacenter_pods_rescheduled_total"
+	DatacenterEvictionPassesTotal  = "datacenter_eviction_passes_total"
+	DatacenterPodBackoffCycles     = "datacenter_pod_backoff_cycles"
 
 	// invariant_* — the opt-in consistency auditor (internal/invariant).
 	InvariantChecksTotal     = "invariant_checks_total"

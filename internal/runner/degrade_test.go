@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -262,6 +263,135 @@ func TestCacheCorruptEntryDetected(t *testing.T) {
 	obs.ObserveCache(c)
 	if got := obs.Merged().CounterValue(metrics.RunnerCacheCorruptTotal); got != 1 {
 		t.Fatalf("runner_cache_corrupt_total = %d, want 1", got)
+	}
+}
+
+// TestGridErrorMultiCauseUnwrap pins the aggregate-unwrap contract:
+// Unwrap() exposes every cell failure in ascending Index order no
+// matter which worker finished first, and errors.Is / errors.As reach
+// a cause buried in ANY cell — a sentinel in one, a structured
+// invariant violation in another, a transient mark in a third.
+func TestGridErrorMultiCauseUnwrap(t *testing.T) {
+	plan := degradePlan(6)
+	sentinel := errors.New("disk on fire")
+	var release sync.WaitGroup
+	release.Add(1)
+	_, err := Run(Options{Workers: 6, ContinueOnError: true}, plan,
+		func(ctx context.Context, idx int, c Cell, seed uint64) (int, error) {
+			switch idx {
+			case 1:
+				// Completes LAST: holds until every other cell returned.
+				release.Wait()
+				return 0, fmt.Errorf("slow cell: %w", sentinel)
+			case 3:
+				return 0, func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = r.(error)
+						}
+					}()
+					invariant.Failf("unwrap_check", "degrade", "cell %d poisoned", idx)
+					return nil
+				}()
+			case 5:
+				defer release.Done()
+				return 0, Transient(errors.New("flaky mount"))
+			}
+			return idx, nil
+		})
+	ge, ok := AsGridError(err)
+	if !ok {
+		t.Fatalf("want *GridError, got %v", err)
+	}
+	// Ascending Index order, independent of completion order (cell 1
+	// finished after cells 3 and 5 by construction).
+	if got := ge.FailedIndexes(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("FailedIndexes = %v, want [1 3 5]", got)
+	}
+	unwrapped := ge.Unwrap()
+	if len(unwrapped) != 3 {
+		t.Fatalf("Unwrap returned %d errors, want 3", len(unwrapped))
+	}
+	for i, e := range unwrapped {
+		var ce CellError
+		if !errors.As(e, &ce) || ce.Index != ge.Failures[i].Index {
+			t.Fatalf("Unwrap()[%d] = %v, want CellError for index %d", i, e, ge.Failures[i].Index)
+		}
+	}
+	// Multi-cause traversal through the aggregate.
+	if !errors.Is(err, sentinel) {
+		t.Fatal("errors.Is missed the sentinel wrapped in cell 1")
+	}
+	if v, ok := invariant.As(err); !ok || v.Check != "unwrap_check" {
+		t.Fatal("errors.As missed the invariant violation in cell 3")
+	}
+	if !IsTransient(err) {
+		t.Fatal("IsTransient missed the transient mark in cell 5")
+	}
+}
+
+// TestCacheCorruptEntryReExecuted drives the corrupt-entry recovery end
+// to end through a plan, the way the studies use the cache: the corrupt
+// entry is detected and deleted, runner_cache_corrupt_total increments,
+// the cell re-executes and re-caches, and the next run hits clean.
+func TestCacheCorruptEntryReExecuted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := degradePlan(1)
+	var executions atomic.Int64
+	runPlan := func() int {
+		res, err := Run(Options{Workers: 1}, plan,
+			func(ctx context.Context, idx int, cell Cell, seed uint64) (int, error) {
+				key := c.Key(plan.Name, cell, seed, 1)
+				var v int
+				if c.Get(key, &v) {
+					return v, nil
+				}
+				executions.Add(1)
+				v = 7
+				if err := c.Put(key, v); err != nil {
+					return 0, Transient(err)
+				}
+				return v, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	if got := runPlan(); got != 7 {
+		t.Fatalf("first run = %d, want 7", got)
+	}
+	if got := runPlan(); got != 7 || executions.Load() != 1 {
+		t.Fatalf("warm run re-executed (executions=%d)", executions.Load())
+	}
+	// Corrupt the entry on disk: the next run must detect it, delete it,
+	// count it, and re-execute the cell.
+	key := c.Key(plan.Name, plan.Cells[0], plan.Cells[0].Seed(plan.Seed), 1)
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := runPlan(); got != 7 {
+		t.Fatalf("recovery run = %d, want 7", got)
+	}
+	if executions.Load() != 2 {
+		t.Fatalf("corrupt entry did not force re-execution (executions=%d)", executions.Load())
+	}
+	if got := c.CorruptCount(); got != 1 {
+		t.Fatalf("CorruptCount = %d, want 1", got)
+	}
+	obs := NewObservations(0)
+	obs.ObserveCache(c)
+	if got := obs.Merged().CounterValue(metrics.RunnerCacheCorruptTotal); got != 1 {
+		t.Fatalf("runner_cache_corrupt_total = %d, want 1", got)
+	}
+	// The re-executed result was re-cached: a final run hits clean.
+	if got := runPlan(); got != 7 || executions.Load() != 2 {
+		t.Fatalf("re-cached entry does not hit (executions=%d)", executions.Load())
 	}
 }
 

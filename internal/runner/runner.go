@@ -146,8 +146,23 @@ type Options struct {
 	// I/O, filesystem hiccups). Simulation errors are deterministic:
 	// re-running them reproduces the identical failure, so they are
 	// never retried. Retried cells reuse the same coordinate-derived
-	// seed, preserving the determinism contract.
+	// seed, preserving the determinism contract. Attempts are separated
+	// by a deterministic exponential host-side backoff
+	// (RetryBackoffBase·2^attempt, capped at RetryBackoffCap) so a
+	// congested filesystem gets room to recover; the wait is wall-clock
+	// only and never touches simulated state, so results stay
+	// byte-identical with or without it. Cancelling the context cuts the
+	// wait short.
 	Retries int
+
+	// RetryBackoffBase is the delay before the first retry; each further
+	// attempt doubles it. Zero selects 50ms. Negative disables the
+	// backoff entirely (retries re-run immediately — the pre-backoff
+	// behavior, used by tests that drill the retry loop itself).
+	RetryBackoffBase time.Duration
+
+	// RetryBackoffCap bounds the exponential backoff. Zero selects 2s.
+	RetryBackoffCap time.Duration
 
 	// ContinueOnError quarantines failed cells instead of cancelling
 	// the plan: every remaining cell still runs, the zero value stands
@@ -272,6 +287,37 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 
 	// runCell adds the bounded retry: only host-transient failures
 	// (marked via Transient) re-run, and only while the plan is live.
+	// Attempts back off exponentially (deterministic schedule: base·2^n,
+	// capped) on the host clock — the transient class is I/O congestion,
+	// and hammering a struggling filesystem converts one transient into
+	// many. Simulated time is untouched; cancellation cuts the wait.
+	backoffBase, backoffCap := opts.RetryBackoffBase, opts.RetryBackoffCap
+	if backoffBase == 0 {
+		backoffBase = 50 * time.Millisecond
+	}
+	if backoffCap <= 0 {
+		backoffCap = 2 * time.Second
+	}
+	retryWait := func(attempt int) bool {
+		if backoffBase < 0 {
+			return true // backoff disabled: retry immediately
+		}
+		delay := backoffBase
+		for i := 0; i < attempt && delay < backoffCap; i++ {
+			delay *= 2
+		}
+		if delay > backoffCap {
+			delay = backoffCap
+		}
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
 	runCell := func(idx int) (out T, err error) {
 		for attempt := 0; ; attempt++ {
 			out, err = runOnce(idx)
@@ -279,6 +325,9 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 				return out, err
 			}
 			cellRetries.Add(1)
+			if !retryWait(attempt) {
+				return out, err
+			}
 		}
 	}
 

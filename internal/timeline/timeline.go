@@ -61,6 +61,11 @@ const (
 	CauseCommJitter
 	// CauseChaos is injected straggler delay (internal/chaos).
 	CauseChaos
+	// CauseEvict is TLB-shootdown/mm-teardown stall time deposited on
+	// Linux-managed processes by datacenter eviction passes (the kubelet
+	// mass-unmapping victims; internal/datacenter). HPMMAP processes
+	// never pay it — their fault path never takes the mm lock.
+	CauseEvict
 	numCauses
 )
 
@@ -97,6 +102,8 @@ func (c Cause) String() string {
 		return "comm_jitter"
 	case CauseChaos:
 		return "chaos"
+	case CauseEvict:
+		return "evict"
 	}
 	return "?"
 }
