@@ -1,24 +1,56 @@
 // Command hpmmap-vet is the detsim determinism-and-invariant linter: a
-// go/analysis unitchecker bundling the five analyzers in
-// internal/analysis (wallclock, randsource, maporder, panicsite,
-// metricname). It is driven by the go command's vet harness, which
-// supplies type information per package:
+// go/analysis unitchecker bundling the analyzers in internal/analysis
+// (wallclock, randsource, maporder, panicsite, metricname,
+// streamcarve, poolescape, hotpath, and the opt-in allowaudit). It is
+// driven by the go command's vet harness, which supplies type
+// information per package:
 //
 //	go build -o bin/hpmmap-vet ./cmd/hpmmap-vet
 //	go vet -vettool=$(pwd)/bin/hpmmap-vet ./...
 //
-// or simply `make lint` (part of `make verify`). A finding can be
-// suppressed with a `//detsim:allow <reason>` comment on the flagged
-// line or the line above it; the reason is mandatory. See ANALYSIS.md
-// for the rules each analyzer enforces and why.
+// or simply `make lint` (part of `make verify`). Passing -json to go
+// vet emits the unitchecker JSON finding tree per package; stale
+// //detsim:allow sweeps run with -allowaudit.enable (`make
+// lint-audit`).
+//
+// Besides the unitchecker protocol, three standalone modes (first
+// argument) support the Makefile lint targets:
+//
+//	hpmmap-vet -sarif             convert a `go vet -json` stream on
+//	                              stdin to SARIF 2.1.0 on stdout
+//	hpmmap-vet -list-allows       list every //detsim:allow directive
+//	                              in the tree with file:line and reason
+//	hpmmap-vet -timing-summary F  aggregate the per-analyzer timing log
+//	                              written when HPMMAP_VET_TIMING_FILE
+//	                              is set (see `make lint`)
+//
+// A finding can be suppressed with a `//detsim:allow <reason>` comment
+// on the flagged line or the line above it; the reason is mandatory.
+// See ANALYSIS.md for the rules each analyzer enforces and why.
 package main
 
 import (
+	"os"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"hpmmap/internal/analysis"
 )
 
 func main() {
-	unitchecker.Main(analysis.Analyzers()...)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "-sarif", "--sarif":
+			os.Exit(sarifMain(os.Args[2:]))
+		case "-list-allows", "--list-allows":
+			os.Exit(listAllowsMain(os.Args[2:]))
+		case "-timing-summary", "--timing-summary":
+			os.Exit(timingSummaryMain(os.Args[2:]))
+		}
+	}
+	azs := analysis.Analyzers()
+	if path := os.Getenv("HPMMAP_VET_TIMING_FILE"); path != "" {
+		wrapTiming(azs, path)
+	}
+	unitchecker.Main(azs...)
 }

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpmmap/internal/analysis"
+)
+
+// sarifMain converts a `go vet -json` stream (a concatenation of
+// unitchecker JSON trees, one object per package unit) on stdin — or
+// from a file argument — to SARIF 2.1.0 on stdout. Rules are derived
+// from the analyzer suite's Doc strings, results are sorted by
+// (file, line, column, rule) so the report is byte-stable for a given
+// finding set, and file URIs are made repo-relative when possible.
+func sarifMain(args []string) int {
+	in := io.Reader(os.Stdin)
+	if len(args) > 0 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpmmap-vet -sarif: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := collectJSONFindings(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpmmap-vet -sarif: %v\n", err)
+		return 2
+	}
+	report := buildSarif(results)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "hpmmap-vet -sarif: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// jsonDiagnostic mirrors the unitchecker/analysisflags JSONDiagnostic
+// schema (the subset SARIF needs).
+type jsonDiagnostic struct {
+	Category string `json:"category"`
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+// sarifResult is one finding, position-resolved.
+type sarifResult struct {
+	rule    string
+	file    string
+	line    int
+	col     int
+	message string
+}
+
+// collectJSONFindings decodes the stream of per-package JSON trees
+// (package ID -> analyzer -> []diagnostic | {"error": ...}) and
+// flattens the diagnostics. The go command prints the trees on stderr
+// prefixed with "# <package>" comment lines — those are stripped
+// before decoding. Analyzer error values are skipped: the vet run
+// itself surfaces them.
+func collectJSONFindings(in io.Reader) ([]sarifResult, error) {
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	var filtered []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		filtered = append(filtered, line)
+	}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(filtered, "\n")))
+	var out []sarifResult
+	for {
+		var tree map[string]map[string]json.RawMessage
+		if err := dec.Decode(&tree); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding vet -json stream: %w", err)
+		}
+		for _, byAnalyzer := range tree {
+			for name, raw := range byAnalyzer {
+				var diags []jsonDiagnostic
+				if err := json.Unmarshal(raw, &diags); err != nil {
+					continue // {"error": ...} or other non-diagnostic shape
+				}
+				for _, d := range diags {
+					file, line, col := splitPosn(d.Posn)
+					out = append(out, sarifResult{
+						rule:    name,
+						file:    relativize(file),
+						line:    line,
+						col:     col,
+						message: d.Message,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.rule < b.rule
+	})
+	return out, nil
+}
+
+// splitPosn parses "file.go:line:col" (the trailing two fields are
+// optional in principle; missing fields default to 1).
+func splitPosn(posn string) (file string, line, col int) {
+	line, col = 1, 1
+	rest := posn
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		if n, err := strconv.Atoi(rest[i+1:]); err == nil {
+			col = n
+			rest = rest[:i]
+		}
+	}
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		if n, err := strconv.Atoi(rest[i+1:]); err == nil {
+			line = n
+			rest = rest[:i]
+		}
+	}
+	return rest, line, col
+}
+
+// relativize rewrites an absolute path under the working directory as
+// a repo-relative URI; anything else passes through.
+func relativize(path string) string {
+	wd, err := os.Getwd()
+	if err != nil || !filepath.IsAbs(path) {
+		return filepath.ToSlash(path)
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+// buildSarif assembles the minimal SARIF 2.1.0 document code-scanning
+// UIs consume: one run, one driver, one rule per detsim analyzer, one
+// result per finding.
+func buildSarif(results []sarifResult) map[string]interface{} {
+	var rules []map[string]interface{}
+	for _, a := range analysis.Analyzers() {
+		short := a.Doc
+		if i := strings.IndexByte(short, '\n'); i >= 0 {
+			short = short[:i]
+		}
+		rules = append(rules, map[string]interface{}{
+			"id":               a.Name,
+			"shortDescription": map[string]interface{}{"text": short},
+			"fullDescription":  map[string]interface{}{"text": a.Doc},
+			"helpUri":          "https://github.com/hpmmap/hpmmap/blob/main/ANALYSIS.md",
+		})
+	}
+	sarifResults := make([]map[string]interface{}, 0, len(results))
+	for _, r := range results {
+		sarifResults = append(sarifResults, map[string]interface{}{
+			"ruleId": r.rule,
+			"level":  "error",
+			"message": map[string]interface{}{
+				"text": r.message,
+			},
+			"locations": []map[string]interface{}{{
+				"physicalLocation": map[string]interface{}{
+					"artifactLocation": map[string]interface{}{"uri": r.file},
+					"region": map[string]interface{}{
+						"startLine":   r.line,
+						"startColumn": r.col,
+					},
+				},
+			}},
+		})
+	}
+	return map[string]interface{}{
+		"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]interface{}{{
+			"tool": map[string]interface{}{
+				"driver": map[string]interface{}{
+					"name":           "hpmmap-vet",
+					"informationUri": "https://github.com/hpmmap/hpmmap/blob/main/ANALYSIS.md",
+					"rules":          rules,
+				},
+			},
+			"results": sarifResults,
+		}},
+	}
+}

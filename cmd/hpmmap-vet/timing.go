@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Per-analyzer timing. Analyzer flags invalidate the go vet result
+// cache but environment variables do not, so the timing hook is keyed
+// off HPMMAP_VET_TIMING_FILE: setting it never forces a cold re-vet,
+// and the summary therefore covers exactly the packages that were
+// actually (re)analyzed in the run — cached packages cost no analyzer
+// time and contribute no rows, which is the honest accounting.
+
+// timingRecord is one analyzer execution on one package unit,
+// appended as a JSON line to the timing file.
+type timingRecord struct {
+	Analyzer string `json:"analyzer"`
+	Pkg      string `json:"pkg"`
+	Ns       int64  `json:"ns"`
+}
+
+// wrapTiming wraps every analyzer's Run to append a timingRecord per
+// execution. unitchecker runs analyzers concurrently within a
+// process, and go vet runs one process per package unit — the mutex
+// orders writers in-process, O_APPEND orders them across processes.
+func wrapTiming(azs []*analysis.Analyzer, path string) {
+	var mu sync.Mutex
+	for _, a := range azs {
+		a := a
+		orig := a.Run
+		a.Run = func(pass *analysis.Pass) (interface{}, error) {
+			start := time.Now()
+			res, err := orig(pass)
+			rec := timingRecord{Analyzer: a.Name, Pkg: pass.Pkg.Path(), Ns: time.Since(start).Nanoseconds()}
+			line, merr := json.Marshal(rec)
+			if merr == nil {
+				mu.Lock()
+				if f, ferr := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); ferr == nil {
+					fmt.Fprintf(f, "%s\n", line)
+					f.Close()
+				}
+				mu.Unlock()
+			}
+			return res, err
+		}
+	}
+}
+
+// timingSummaryMain aggregates a timing file into a per-analyzer
+// table, slowest first — the tail of `make lint`.
+func timingSummaryMain(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "hpmmap-vet -timing-summary: usage: hpmmap-vet -timing-summary <timing-file>")
+		return 2
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		// A missing file means every package unit was served from the
+		// vet result cache: nothing ran, nothing to report.
+		fmt.Printf("lint timing: no analyzer executions recorded (all package units cached)\n")
+		return 0
+	}
+	defer f.Close()
+
+	type agg struct {
+		ns   int64
+		pkgs int
+	}
+	byAnalyzer := make(map[string]*agg)
+	var total int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var rec timingRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn line from a crashed unit; skip
+		}
+		a := byAnalyzer[rec.Analyzer]
+		if a == nil {
+			a = &agg{}
+			byAnalyzer[rec.Analyzer] = a
+		}
+		a.ns += rec.Ns
+		a.pkgs++
+		total += rec.Ns
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "hpmmap-vet -timing-summary: %v\n", err)
+		return 2
+	}
+	if len(byAnalyzer) == 0 {
+		fmt.Printf("lint timing: no analyzer executions recorded (all package units cached)\n")
+		return 0
+	}
+
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if byAnalyzer[names[i]].ns != byAnalyzer[names[j]].ns {
+			return byAnalyzer[names[i]].ns > byAnalyzer[names[j]].ns
+		}
+		return names[i] < names[j]
+	})
+	fmt.Printf("lint timing (analyzer time on re-vetted package units; cached units excluded):\n")
+	for _, name := range names {
+		a := byAnalyzer[name]
+		fmt.Printf("  %-12s %12v  %4d unit(s)\n", name, time.Duration(a.ns).Round(time.Microsecond), a.pkgs)
+	}
+	fmt.Printf("  %-12s %12v\n", "total", time.Duration(total).Round(time.Microsecond))
+	return 0
+}

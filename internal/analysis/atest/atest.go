@@ -62,6 +62,51 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
 	checkDiagnostics(t, ld.fset, target.files, diags)
 }
 
+// ResolvedDiagnostic is one analyzer diagnostic with its position
+// resolved to file and line.
+type ResolvedDiagnostic struct {
+	File    string
+	Line    int
+	Message string
+}
+
+// Diagnostics loads testdata/src/<pkgpath>, applies a (and its
+// Requires closure), and returns the raw diagnostics with positions
+// resolved, sorted by (file, line). For analyzers whose diagnostics
+// land on lines that cannot carry a // want comment — allowaudit
+// reports on the //detsim:allow line itself — the caller asserts on
+// the returned slice instead of golden comments.
+func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []ResolvedDiagnostic {
+	t.Helper()
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loadedPkg),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+
+	target, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("atest: loading %s: %v", pkgpath, err)
+	}
+	diags, err := runWithDeps(a, target, ld.fset, make(map[*analysis.Analyzer]interface{}))
+	if err != nil {
+		t.Fatalf("atest: running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	out := make([]ResolvedDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		out = append(out, ResolvedDiagnostic{File: pos.Filename, Line: pos.Line, Message: d.Message})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
 // --- package loading -----------------------------------------------------
 
 type loadedPkg struct {

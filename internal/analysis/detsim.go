@@ -1,4 +1,4 @@
-// Package analysis is the detsim suite: five go/analysis analyzers that
+// Package analysis is the detsim suite: go/analysis analyzers that
 // turn this repository's determinism and invariant conventions into
 // machine-checked law. The discrete-event simulation must be
 // bit-reproducible — every figure, metrics snapshot, and chaos-study
@@ -14,6 +14,14 @@
 //     raw panic (the sanctioned programmer-error sites are allowlisted)
 //   - metricname:  metric registration uses internal/metrics/names.go
 //     constants, never string literals
+//   - streamcarve: rand.Split() carve sites follow the committed
+//     append-only substream registry (streamcarve_registry.go)
+//   - poolescape:  pooled simulation objects (DESIGN.md §11) are held
+//     only by the sanctioned, reap-disciplined holders
+//   - hotpath:     //detsim:hotpath functions stay free of allocating
+//     constructs (DESIGN.md §10)
+//   - allowaudit:  opt-in (-allowaudit.enable) stale-directive sweep
+//     backing `make lint-audit`
 //
 // The suite runs as `cmd/hpmmap-vet` (a go/analysis unitchecker driven
 // by `go vet -vettool=`) and as the `lint` leg of `make verify`. Every
@@ -26,6 +34,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"reflect"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -100,8 +109,23 @@ func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 // reported by every analyzer (the directive is itself linted).
 const allowPrefix = "//detsim:allow"
 
-// directiveIndex maps file -> line -> directive reason ("" = missing).
-type directiveIndex map[*token.File]map[int]string
+// directiveEntry is one //detsim:allow occurrence. used is set when any
+// analyzer consults the entry and suppresses a finding because of it —
+// the allowaudit analyzer reads the flag back through each analyzer's
+// directiveIndex result to flag stale directives.
+type directiveEntry struct {
+	reason string
+	used   bool
+}
+
+// directiveIndex maps file -> line -> directive. Every detsim analyzer
+// returns its index as its go/analysis result (directiveIndexResult) so
+// allowaudit can aggregate consumption across the suite.
+type directiveIndex map[*token.File]map[int]*directiveEntry
+
+// directiveIndexResult is the shared ResultType of the detsim
+// analyzers.
+var directiveIndexResult = reflect.TypeOf(directiveIndex(nil))
 
 // buildDirectiveIndex scans every comment in the pass's files once.
 func buildDirectiveIndex(pass *analysis.Pass) directiveIndex {
@@ -124,10 +148,10 @@ func buildDirectiveIndex(pass *analysis.Pass) directiveIndex {
 				}
 				m := idx[tf]
 				if m == nil {
-					m = make(map[int]string)
+					m = make(map[int]*directiveEntry)
 					idx[tf] = m
 				}
-				m[tf.Line(c.Pos())] = reason
+				m[tf.Line(c.Pos())] = &directiveEntry{reason: reason}
 			}
 		}
 	}
@@ -135,10 +159,10 @@ func buildDirectiveIndex(pass *analysis.Pass) directiveIndex {
 }
 
 // allowed reports whether the node at pos carries (or is directly
-// preceded by) a //detsim:allow directive. If the directive exists but
-// has no reason, it reports the malformed directive through pass and
-// still suppresses the original finding (one actionable message per
-// site, not two).
+// preceded by) a //detsim:allow directive, marking the directive as
+// consumed. If the directive exists but has no reason, it reports the
+// malformed directive through pass and still suppresses the original
+// finding (one actionable message per site, not two).
 func (idx directiveIndex) allowed(pass *analysis.Pass, pos token.Pos) bool {
 	tf := pass.Fset.File(pos)
 	if tf == nil {
@@ -150,8 +174,9 @@ func (idx directiveIndex) allowed(pass *analysis.Pass, pos token.Pos) bool {
 	}
 	line := tf.Line(pos)
 	for _, l := range [2]int{line, line - 1} {
-		if reason, ok := m[l]; ok {
-			if reason == "" {
+		if e, ok := m[l]; ok {
+			e.used = true
+			if e.reason == "" {
 				pass.Reportf(pos, "detsim:allow directive requires a reason: //detsim:allow <why this site is exempt>")
 			}
 			return true
@@ -189,7 +214,9 @@ func funcDisplayName(stack []ast.Node) string {
 	return ""
 }
 
-// Analyzers returns the full detsim suite in stable order.
+// Analyzers returns the full detsim suite in stable order. allowaudit
+// runs last: it depends on every other analyzer's directiveIndex
+// result and is a no-op unless enabled with -allowaudit.enable.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		WallclockAnalyzer,
@@ -197,5 +224,9 @@ func Analyzers() []*analysis.Analyzer {
 		MaporderAnalyzer,
 		PanicsiteAnalyzer,
 		MetricnameAnalyzer,
+		StreamcarveAnalyzer,
+		PoolescapeAnalyzer,
+		HotpathAnalyzer,
+		AllowauditAnalyzer,
 	}
 }

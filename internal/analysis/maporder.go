@@ -25,8 +25,15 @@ import (
 //   - last-writer-wins assignments guarded by comparisons (min/max
 //     idioms) — plain `=` to outer variables is not reported;
 //   - collect-then-sort: appends whose target slice is passed to a
-//     sort routine (sort.*, slices.Sort*, or a helper whose name
-//     contains "sort") later in the same function.
+//     sort routine (sort.*, slices.Sort*/SortFunc/SortStableFunc, or a
+//     helper whose name contains "sort") later in the same function;
+//   - ranging over slices.Sorted/SortedFunc/SortedStableFunc(...) —
+//     the iteration source is provably sorted.
+//
+// Ranging over maps.Keys/Values/All(m) is treated as map iteration:
+// the derived slice (or iterator) inherits the randomised order, so
+// the same body rules apply unless the call is wrapped in a
+// slices.Sorted* adapter.
 //
 // Everything else needs either sorted iteration or an explicit
 // //detsim:allow <reason> directive on the `for` line (or the line
@@ -34,11 +41,13 @@ import (
 var MaporderAnalyzer = &analysis.Analyzer{
 	Name: "maporder",
 	Doc: "flag order-sensitive work inside range-over-map loops\n\n" +
-		"Reports map-range loops that append to outer slices (unless the\n" +
-		"slice is sorted afterwards), accumulate floats or strings, or\n" +
-		"emit output, unless the site carries //detsim:allow <reason>.",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runMaporder,
+		"Reports map-range loops (including loops over maps.Keys/Values)\n" +
+		"that append to outer slices (unless the slice is sorted\n" +
+		"afterwards), accumulate floats or strings, or emit output,\n" +
+		"unless the site carries //detsim:allow <reason>.",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: directiveIndexResult,
+	Run:        runMaporder,
 }
 
 // orderSensitiveCalls are function/method names whose invocation inside
@@ -55,7 +64,7 @@ var orderSensitiveCalls = map[string]bool{
 
 func runMaporder(pass *analysis.Pass) (interface{}, error) {
 	if !strings.HasPrefix(normalizePkgPath(pass.Pkg.Path()), modulePath) {
-		return nil, nil
+		return directiveIndex(nil), nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	allow := buildDirectiveIndex(pass)
@@ -65,24 +74,76 @@ func runMaporder(pass *analysis.Pass) (interface{}, error) {
 			return true
 		}
 		rng := n.(*ast.RangeStmt)
-		tv, ok := pass.TypesInfo.Types[rng.X]
-		if !ok {
+		if !rangesOverMapOrder(pass, rng) {
 			return true
 		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-			return true
-		}
-		if isTestFile(pass.Fset, rng.Pos()) || allow.allowed(pass, rng.Pos()) {
+		if isTestFile(pass.Fset, rng.Pos()) {
 			return true
 		}
 		if reason := maporderFinding(pass, rng, stack); reason != "" {
+			if allow.allowed(pass, rng.Pos()) {
+				return true
+			}
 			pass.Reportf(rng.Pos(),
 				"maporder: map iteration order is randomised, but this loop %s — iterate in a deterministic order (collect keys, sort.Slice/slices.Sort, then index), or annotate //detsim:allow <reason> if order provably cannot reach an artifact",
 				reason)
 		}
 		return true
 	})
-	return nil, nil
+	return allow, nil
+}
+
+// rangesOverMapOrder reports whether the range statement iterates in
+// randomised map order: directly over a map, or over the result of
+// maps.Keys/Values/All (whose element order inherits the map's). A
+// source wrapped in slices.Sorted/SortedFunc/SortedStableFunc is
+// provably ordered and never reported.
+func rangesOverMapOrder(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if pkg, name, ok := callPkgFunc(pass, rng.X); ok && isMapsOrderPkg(pkg, "slices") {
+		switch name {
+		case "Sorted", "SortedFunc", "SortedStableFunc":
+			return false
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[rng.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	if pkg, name, ok := callPkgFunc(pass, rng.X); ok && isMapsOrderPkg(pkg, "maps") {
+		switch name {
+		case "Keys", "Values", "All":
+			return true
+		}
+	}
+	return false
+}
+
+// callPkgFunc resolves e as a call to a package-level function and
+// returns its package path and name.
+func callPkgFunc(pass *analysis.Pass, e ast.Expr) (pkgPath, name string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	var obj types.Object
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[f.Sel]
+	}
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// isMapsOrderPkg matches the standard-library package (e.g. "maps",
+// "slices") and its golang.org/x/exp forerunner.
+func isMapsOrderPkg(pkgPath, base string) bool {
+	return pkgPath == base || pkgPath == "golang.org/x/exp/"+base
 }
 
 // appendTarget identifies the destination of an append-to-outer-slice

@@ -35,15 +35,16 @@ var MetricnameAnalyzer = &analysis.Analyzer{
 		"passed a constant from internal/metrics/names.go so the\n" +
 		"OBSERVABILITY.md contract stays closed; string literals and\n" +
 		"foreign constants are reported.",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runMetricname,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: directiveIndexResult,
+	Run:        runMetricname,
 }
 
 const metricsPkgPath = modulePath + "/internal/metrics"
 
 func runMetricname(pass *analysis.Pass) (interface{}, error) {
 	if !strings.HasPrefix(normalizePkgPath(pass.Pkg.Path()), modulePath) {
-		return nil, nil
+		return directiveIndex(nil), nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	allow := buildDirectiveIndex(pass)
@@ -58,16 +59,19 @@ func runMetricname(pass *analysis.Pass) (interface{}, error) {
 		if !ok || !isRegistryMethod(fn) {
 			return
 		}
-		if isTestFile(pass.Fset, call.Pos()) || allow.allowed(pass, call.Pos()) {
+		if isTestFile(pass.Fset, call.Pos()) {
 			return
 		}
 		if bad, what := offendingNameExpr(pass, call.Args[0]); bad != nil {
+			if allow.allowed(pass, call.Pos()) {
+				return
+			}
 			pass.Reportf(bad.Pos(),
 				"metricname: %s in %s(...) — metric names must be constants from internal/metrics/names.go (add the constant, the OBSERVABILITY.md row, and the instrumentation together; see OBSERVABILITY.md \"How to add a metric\")",
 				what, sel.Sel.Name)
 		}
 	})
-	return nil, nil
+	return allow, nil
 }
 
 // isRegistryMethod reports whether fn is a method on

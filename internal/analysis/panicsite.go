@@ -31,8 +31,9 @@ var PanicsiteAnalyzer = &analysis.Analyzer{
 		"sites are allowlisted by enclosing function (see\n" +
 		"panicsite_allowlist.go and DESIGN.md §8); anything else needs a\n" +
 		"//detsim:allow <reason> directive.",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runPanicsite,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: directiveIndexResult,
+	Run:        runPanicsite,
 }
 
 // panicsiteScope: the simulated-state packages plus internal/metrics
@@ -49,7 +50,7 @@ func panicsiteInScope(path string) bool {
 
 func runPanicsite(pass *analysis.Pass) (interface{}, error) {
 	if !panicsiteInScope(pass.Pkg.Path()) {
-		return nil, nil
+		return directiveIndex(nil), nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	allow := buildDirectiveIndex(pass)
@@ -91,5 +92,5 @@ func runPanicsite(pass *analysis.Pass) (interface{}, error) {
 			pkg, fn)
 		return true
 	})
-	return nil, nil
+	return allow, nil
 }

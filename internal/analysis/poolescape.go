@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// PoolescapeAnalyzer enforces the pool-quiescence contract of
+// DESIGN.md §11 statically. The lifecycle pools recycle Process, Task,
+// manager region/procState, and vma.VMA objects; any reference that
+// survives past the pool's Reset/Reap hands its holder a recycled
+// object — the ABA hazard the MMLockedUntil guard exists for. Two
+// rules:
+//
+//  1. Holding is registered: every declaration that can hold a pooled
+//     pointer past a function return — struct fields, package-level
+//     variables, named container types — must appear in
+//     poolHolderRegistry (poolescape_registry.go) with its clearing
+//     discipline. Transient use (parameters, results, locals) is free.
+//
+//  2. Sealed types never leave home: a type marked sealed (vma.VMA)
+//     must not be mentioned outside its owning package at all — the
+//     "no *VMA escapes the package" safety argument, checked instead
+//     of trusted.
+var PoolescapeAnalyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "restrict pooled simulation objects to sanctioned, reap-disciplined holders\n\n" +
+		"Pointers to the DESIGN.md §11 pooled types (kernel\n" +
+		"Process/Task, manager region/procState/touchCtx, vma.VMA) may\n" +
+		"only be held by declarations registered in\n" +
+		"poolescape_registry.go with their clearing discipline; sealed\n" +
+		"types must not be mentioned outside their owner. See\n" +
+		"ANALYSIS.md.",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: directiveIndexResult,
+	Run:        runPoolescape,
+}
+
+func runPoolescape(pass *analysis.Pass) (interface{}, error) {
+	pkgPath := normalizePkgPath(pass.Pkg.Path())
+	if !strings.HasPrefix(pkgPath, modulePath) {
+		return directiveIndex(nil), nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildDirectiveIndex(pass)
+
+	reportHolder := func(pos ast.Node, key, kind, name, pooled string) {
+		// A sealed type's own package is exempt from the holder rule:
+		// its pool mechanics (vma.Space.vmas/pool, traversal stacks)
+		// ARE the ownership the seal protects.
+		if info := pooledTypes[pooled]; info.sealed && pkgPath == info.owner {
+			return
+		}
+		if isTestFile(pass.Fset, pos.Pos()) || allow.allowed(pass, pos.Pos()) {
+			return
+		}
+		pass.Reportf(pos.Pos(),
+			"poolescape: %s %s holds pooled %s — pooled objects are recycled at Reset/Reap (DESIGN.md §11), so a surviving reference is an ABA hazard; register the holder with its clearing discipline in internal/analysis/poolescape_registry.go (key %q) or annotate //detsim:allow <reason>",
+			kind, name, shortTypeName(pooled), key)
+	}
+
+	ins.Preorder([]ast.Node{(*ast.TypeSpec)(nil), (*ast.GenDecl)(nil), (*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.TypeSpec:
+			checkTypeSpec(pass, pkgPath, n, reportHolder)
+		case *ast.GenDecl:
+			checkPackageVars(pass, pkgPath, n, reportHolder)
+		case *ast.SelectorExpr:
+			checkSealedMention(pass, pkgPath, allow, n)
+		}
+	})
+	return allow, nil
+}
+
+// checkTypeSpec flags struct fields (and non-struct named container
+// types) whose type can hold a pooled pointer.
+func checkTypeSpec(pass *analysis.Pass, pkgPath string, ts *ast.TypeSpec, report func(ast.Node, string, string, string, string)) {
+	if st, ok := ts.Type.(*ast.StructType); ok {
+		for _, field := range st.Fields.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			pooled := pooledTypeIn(t)
+			if pooled == "" {
+				continue
+			}
+			names := field.Names
+			if len(names) == 0 { // embedded field
+				names = []*ast.Ident{{Name: shortTypeName(types.ExprString(field.Type)), NamePos: field.Type.Pos()}}
+			}
+			for _, name := range names {
+				key := pkgPath + "." + ts.Name.Name + "." + name.Name
+				if _, sanctioned := poolHolderRegistry[key]; sanctioned {
+					continue
+				}
+				report(field, key, "field", ts.Name.Name+"."+name.Name, pooled)
+			}
+		}
+		return
+	}
+	// Named non-struct type: type procCache []*kernel.Process etc.
+	if pooled := pooledTypeIn(pass.TypesInfo.TypeOf(ts.Type)); pooled != "" {
+		key := pkgPath + "." + ts.Name.Name
+		if _, sanctioned := poolHolderRegistry[key]; !sanctioned {
+			report(ts, key, "named container type", ts.Name.Name, pooled)
+		}
+	}
+}
+
+// checkPackageVars flags package-level variables that can hold a
+// pooled pointer.
+func checkPackageVars(pass *analysis.Pass, pkgPath string, gd *ast.GenDecl, report func(ast.Node, string, string, string, string)) {
+	if gd.Tok.String() != "var" {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || obj.Parent() != obj.Pkg().Scope() {
+				continue // local var statement inside a function
+			}
+			if pooled := pooledTypeIn(obj.Type()); pooled != "" {
+				key := pkgPath + "." + name.Name
+				if _, sanctioned := poolHolderRegistry[key]; !sanctioned {
+					report(name, key, "package-level variable", name.Name, pooled)
+				}
+			}
+		}
+	}
+}
+
+// checkSealedMention flags any selector reference to a sealed pooled
+// type (pkg.Type) outside its owning package.
+func checkSealedMention(pass *analysis.Pass, pkgPath string, allow directiveIndex, sel *ast.SelectorExpr) {
+	tn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName)
+	if !ok || tn.Pkg() == nil {
+		return
+	}
+	key := normalizePkgPath(tn.Pkg().Path()) + "." + tn.Name()
+	info, pooled := pooledTypes[key]
+	if !pooled || !info.sealed || pkgPath == info.owner {
+		return
+	}
+	if isTestFile(pass.Fset, sel.Pos()) || allow.allowed(pass, sel.Pos()) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"poolescape: sealed pooled type %s mentioned outside its owning package %s — the §11 safety argument is \"no *%s escapes the package\"; use the owner's accessors (values and inferred transient iteration) or move this logic into the owner",
+		key, info.owner, tn.Name())
+}
+
+// pooledTypeIn reports the first pooled type reachable from t through
+// holding structure — pointers, slices, arrays, maps, channels, and
+// inline structs — without descending into other named types (each
+// named type is checked at its own declaration) or into function and
+// interface types (those positions are transient, not holders).
+func pooledTypeIn(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		if k := pooledKey(t.Elem()); k != "" {
+			return k
+		}
+		return pooledStructuralIn(t.Elem())
+	case *types.Slice:
+		return pooledTypeIn(t.Elem())
+	case *types.Array:
+		return pooledTypeIn(t.Elem())
+	case *types.Map:
+		if k := pooledTypeIn(t.Key()); k != "" {
+			return k
+		}
+		return pooledTypeIn(t.Elem())
+	case *types.Chan:
+		return pooledTypeIn(t.Elem())
+	case *types.Struct:
+		return pooledStructuralIn(t)
+	}
+	return ""
+}
+
+// pooledStructuralIn recurses into inline (unnamed) struct types only.
+func pooledStructuralIn(t types.Type) string {
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if k := pooledTypeIn(st.Field(i).Type()); k != "" {
+			return k
+		}
+	}
+	return ""
+}
+
+// pooledKey returns the pooledTypes key for t when t is itself a
+// pooled named type.
+func pooledKey(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	key := normalizePkgPath(named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+	if _, ok := pooledTypes[key]; ok {
+		return key
+	}
+	return ""
+}
+
+// shortTypeName trims "hpmmap/internal/kernel.Process" to
+// "kernel.Process" for diagnostics.
+func shortTypeName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

@@ -32,16 +32,17 @@ var RandsourceAnalyzer = &analysis.Analyzer{
 		"SplitMix64 streams so that per-cell seeding and chaos substream\n" +
 		"carving stay schedule-stable. An import may be exempted with a\n" +
 		"//detsim:allow <reason> directive on the import line.",
-	Run: runRandsource,
+	ResultType: directiveIndexResult,
+	Run:        runRandsource,
 }
 
 func runRandsource(pass *analysis.Pass) (interface{}, error) {
 	path := normalizePkgPath(pass.Pkg.Path())
 	if path == modulePath+"/internal/sim" {
-		return nil, nil // the one sanctioned randomness root
+		return directiveIndex(nil), nil // the one sanctioned randomness root
 	}
 	if !strings.HasPrefix(path, modulePath) {
-		return nil, nil // never lint dependencies
+		return directiveIndex(nil), nil // never lint dependencies
 	}
 	allow := buildDirectiveIndex(pass)
 	for _, f := range pass.Files {
@@ -62,5 +63,5 @@ func runRandsource(pass *analysis.Pass) (interface{}, error) {
 				name)
 		}
 	}
-	return nil, nil
+	return allow, nil
 }

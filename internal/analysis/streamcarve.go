@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// StreamcarveAnalyzer enforces the substream carve-order contract in
+// simulated-state packages: every function that carves substreams with
+// sim.Rand.Split() must appear in carveRegistry
+// (streamcarve_registry.go), and its ordered sequence of carve
+// destinations must match the registered list exactly. Split() draws
+// from the parent stream, so position is seed: reordering two carves,
+// inserting one mid-sequence, or taking any other draw from the parent
+// between carves re-seeds every later substream. Appending a new
+// destination to the registry tail is the sanctioned evolution path
+// (byte-safe for all existing substreams); anything else is reported.
+var StreamcarveAnalyzer = &analysis.Analyzer{
+	Name: "streamcarve",
+	Doc: "enforce the append-only substream carve-order registry\n\n" +
+		"sim.Rand.Split() sequences in simulated-state packages must\n" +
+		"match the committed registry (streamcarve_registry.go) in both\n" +
+		"membership and order; parent-stream draws between carves are\n" +
+		"also reported. Extend a carve site by appending to the registry\n" +
+		"tail (plus the DESIGN.md §9 table); see ANALYSIS.md.",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: directiveIndexResult,
+	Run:        runStreamcarve,
+}
+
+// carveSite is one rand.Split() call: the destination it is assigned
+// to (field/variable name, "" when unassigned) and the parent stream
+// expression it splits from.
+type carveSite struct {
+	dest   string
+	parent string
+	pos    token.Pos
+}
+
+// parentDraw is a non-Split sim.Rand method call — a draw that
+// advances the stream it is called on.
+type parentDraw struct {
+	recv   string
+	method string
+	pos    token.Pos
+}
+
+// carveFunc aggregates everything streamcarve observed in one function.
+type carveFunc struct {
+	key    string // registry key: pkg + "." + display name
+	pos    token.Pos
+	carves []carveSite
+	draws  []parentDraw
+}
+
+func runStreamcarve(pass *analysis.Pass) (interface{}, error) {
+	if !isSimPackage(pass.Pkg.Path()) {
+		return directiveIndex(nil), nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildDirectiveIndex(pass)
+	pkg := normalizePkgPath(pass.Pkg.Path())
+
+	fns := make(map[string]*carveFunc)
+	var order []string // fns keys in source order
+
+	fnFor := func(stack []ast.Node) *carveFunc {
+		name := funcDisplayName(stack)
+		if name == "" {
+			return nil
+		}
+		key := pkg + "." + name
+		f := fns[key]
+		if f == nil {
+			f = &carveFunc{key: key}
+			for i := len(stack) - 1; i >= 0; i-- {
+				if fd, ok := stack[i].(*ast.FuncDecl); ok {
+					f.pos = fd.Name.Pos()
+					break
+				}
+			}
+			fns[key] = f
+			order = append(order, key)
+		}
+		return f
+	}
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil), (*ast.FuncDecl)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass.Fset, n.Pos()) {
+			return true
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			// Register declared functions even if they never Split, so a
+			// registered carve site that lost its carves is still seen.
+			if _, registered := carveRegistry[pkg+"."+funcDisplayName(stack)]; registered && fd.Body != nil {
+				fnFor(stack)
+			}
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || !isSimRandMethod(fn) {
+			return true
+		}
+		f := fnFor(stack)
+		if f == nil {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		if fn.Name() == "Split" {
+			f.carves = append(f.carves, carveSite{dest: carveDest(stack, call), parent: recv, pos: call.Pos()})
+		} else {
+			f.draws = append(f.draws, parentDraw{recv: recv, method: fn.Name(), pos: call.Pos()})
+		}
+		return true
+	})
+
+	for _, key := range order {
+		checkCarveFunc(pass, allow, fns[key])
+	}
+	return allow, nil
+}
+
+// checkCarveFunc compares one function's observed carve sequence
+// against the registry and reports the first divergence, plus any
+// parent-stream draws inside the carve window.
+func checkCarveFunc(pass *analysis.Pass, allow directiveIndex, f *carveFunc) {
+	reg, registered := carveRegistry[f.key]
+
+	if !registered {
+		for _, c := range f.carves {
+			if allow.allowed(pass, c.pos) {
+				continue
+			}
+			pass.Reportf(c.pos,
+				"streamcarve: unregistered substream carve site %s (Split() -> %s) — substream carve order is a committed byte-compatibility contract; register the function's full carve sequence in internal/analysis/streamcarve_registry.go and the DESIGN.md §9 table (see ANALYSIS.md streamcarve)",
+				f.key, describeDest(c.dest))
+			break // one report per function, not one per carve
+		}
+		return
+	}
+
+	if len(f.carves) == 0 {
+		if !allow.allowed(pass, f.pos) {
+			pass.Reportf(f.pos,
+				"streamcarve: registered carve site %s no longer carves any substreams, but the registry lists %d (%s) — deleting or moving a carve sequence re-seeds every registered substream; update internal/analysis/streamcarve_registry.go and the DESIGN.md §9 table deliberately, with a golden refresh",
+				f.key, len(reg), strings.Join(reg, ", "))
+		}
+		return
+	}
+
+	for i, c := range f.carves {
+		if i >= len(reg) {
+			// Extra carves past the registered tail: the one sanctioned
+			// evolution path, provided the registry is extended with it.
+			if !allow.allowed(pass, c.pos) {
+				pass.Reportf(c.pos,
+					"streamcarve: substream %s is carved after the %d registered substreams of %s but is not in the registry — appending is the sanctioned (byte-safe) evolution path: add %q to the tail of the registry entry in internal/analysis/streamcarve_registry.go and to the DESIGN.md §9 table",
+					describeDest(c.dest), len(reg), f.key, c.dest)
+			}
+			break
+		}
+		if c.dest != reg[i] {
+			if !allow.allowed(pass, c.pos) {
+				pass.Reportf(c.pos,
+					"streamcarve: carve order mismatch in %s at position %d: this Split() assigns to %s but the registry lists %q — substream carve order is append-only (position is seed); restore the committed order, or update internal/analysis/streamcarve_registry.go + the DESIGN.md §9 table only as a deliberate byte-compatibility break",
+					f.key, i+1, describeDest(c.dest), reg[i])
+			}
+			return // later positions are all shifted; one report is enough
+		}
+	}
+
+	if len(f.carves) < len(reg) {
+		last := f.carves[len(f.carves)-1]
+		if !allow.allowed(pass, last.pos) {
+			pass.Reportf(last.pos,
+				"streamcarve: %s carves only %d of the %d registered substreams (missing: %s) — a shrunk carve sequence re-seeds nothing today but breaks the committed contract; update internal/analysis/streamcarve_registry.go and the DESIGN.md §9 table deliberately",
+				f.key, len(f.carves), len(reg), strings.Join(reg[len(f.carves):], ", "))
+		}
+	}
+
+	// Draws from a carve parent inside the carve window: between the
+	// first and last Split of the sequence, any other method call on
+	// the same parent stream advances it and re-seeds later carves.
+	first, last := f.carves[0].pos, f.carves[len(f.carves)-1].pos
+	parents := make(map[string]bool)
+	for _, c := range f.carves {
+		parents[c.parent] = true
+	}
+	for _, d := range f.draws {
+		if d.pos > first && d.pos < last && parents[d.recv] {
+			if !allow.allowed(pass, d.pos) {
+				pass.Reportf(d.pos,
+					"streamcarve: %s(...) draws from parent stream %q between substream carves in %s — every carve after this draw is re-seeded; draw from the parent only after the carve sequence completes (or from a carved substream)",
+					d.method, d.recv, f.key)
+			}
+		}
+	}
+}
+
+// describeDest renders a carve destination for diagnostics.
+func describeDest(dest string) string {
+	if dest == "" {
+		return "an unnamed destination"
+	}
+	return fmt.Sprintf("%q", dest)
+}
+
+// carveDest resolves the destination name a Split() call is assigned
+// to: the field or variable on the left of the assignment
+// (i.spikeRand = i.rnd.Split() -> "spikeRand"), or the key of the
+// composite-literal element (rand: node.Rand().Split() -> "rand").
+// Returns "" when the result is passed or dropped without a named
+// destination.
+func carveDest(stack []ast.Node, call *ast.CallExpr) string {
+	child := ast.Node(call)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.AssignStmt:
+			for j, rhs := range p.Rhs {
+				if rhs != child {
+					continue
+				}
+				if j >= len(p.Lhs) {
+					return ""
+				}
+				switch l := p.Lhs[j].(type) {
+				case *ast.Ident:
+					return l.Name
+				case *ast.SelectorExpr:
+					return l.Sel.Name
+				}
+				return ""
+			}
+			return ""
+		case *ast.KeyValueExpr:
+			if p.Value == child {
+				if id, ok := p.Key.(*ast.Ident); ok {
+					return id.Name
+				}
+			}
+			return ""
+		case *ast.CallExpr, *ast.BlockStmt, *ast.ReturnStmt:
+			return "" // argument, statement, or return position
+		}
+		child = stack[i]
+	}
+	return ""
+}
+
+// isSimRandMethod reports whether fn is a method on internal/sim's
+// Rand type.
+func isSimRandMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Rand" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return normalizePkgPath(named.Obj().Pkg().Path()) == modulePath+"/internal/sim"
+}

@@ -1,0 +1,49 @@
+package analysis
+
+// carveRegistry is the committed substream carve-order contract
+// enforced by StreamcarveAnalyzer, keyed by the enclosing function
+// ("pkg/path.Func" or "pkg/path.Type.Method") with the ordered list of
+// destination names its rand.Split() calls assign to.
+//
+// Split() advances the parent stream, so the Nth carve's seed depends
+// on every carve before it: reordering, inserting mid-sequence, or
+// drawing from the parent between carves re-seeds every later
+// substream and silently shifts every schedule derived from them —
+// exactly the byte-compatibility hazard PRs 7 and 8 had to dodge by
+// hand when they appended nodefailRand and backoffRand. The registry
+// makes the contract append-only: extending a carve site means adding
+// the new destination to the TAIL of its list here and to the
+// DESIGN.md §9 "substream carve-order registry" table (the two are
+// kept in sync by TestStreamcarveRegistryMatchesDesignTable).
+//
+// Changing the INTERIOR of a list is a deliberate
+// byte-compatibility break: do it only together with a golden/bench
+// refresh, and say so in the PR.
+var carveRegistry = map[string][]string{
+	// internal/chaos: one substream per event family, carved in New in
+	// enable-set-independent order (chaos.go "determinism contract").
+	modulePath + "/internal/chaos.New": {
+		"spikeRand",
+		"buddyRand",
+		"swapRand",
+		"pcRand",
+		"tlbRand",
+		"stragglerRand",
+		"nodefailRand",
+	},
+	// internal/datacenter: one substream per agent concern
+	// (datacenter.go "determinism contract").
+	modulePath + "/internal/datacenter.New": {
+		"churnRand",
+		"specRand",
+		"lifeRand",
+		"residentRand",
+		"prioRand",
+		"backoffRand",
+	},
+	// Per-manager carves off the node stream: each manager takes
+	// exactly one substream at construction.
+	modulePath + "/internal/linuxmm.New":  {"rand"},
+	modulePath + "/internal/core.Install": {"rand"},
+	modulePath + "/internal/thp.Start":    {"rand"},
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestStreamcarveRegistryMatchesDesignTable cross-checks the carve
+// registry against the DESIGN.md §9 "substream carve-order registry"
+// table: same carve sites, same destinations, same order. Whoever
+// appends a substream updates both together (see ANALYSIS.md) — the
+// same both-or-neither discipline the panicsite allowlist uses for
+// the §8 audit table.
+func TestStreamcarveRegistryMatchesDesignTable(t *testing.T) {
+	fromDoc := parseDesignCarveTable(t, "../../DESIGN.md")
+
+	for key, seq := range fromDoc {
+		got, ok := carveRegistry[key]
+		if !ok {
+			t.Errorf("DESIGN.md §9 lists carve site %s but streamcarve_registry.go has no entry", key)
+			continue
+		}
+		if strings.Join(got, ", ") != strings.Join(seq, ", ") {
+			t.Errorf("carve sequence for %s out of sync:\n  DESIGN.md §9: %v\n  registry:     %v", key, seq, got)
+		}
+	}
+	for key := range carveRegistry {
+		if _, ok := fromDoc[key]; !ok {
+			t.Errorf("streamcarve_registry.go has carve site %s but the DESIGN.md §9 table has no row", key)
+		}
+	}
+}
+
+// carveRowRE matches §9 carve-table rows such as
+//
+//	| `internal/chaos.New` | `spikeRand`, `buddyRand`, ... |
+//
+// capturing the site (package-qualified function) and the destination
+// cell. The analyzer-overview table in the same section has no
+// `internal/...` first cell, so it never matches.
+var carveRowRE = regexp.MustCompile("^\\|\\s*`(internal/[a-z]+\\.[A-Za-z][A-Za-z.]*)`\\s*\\|([^|]+)\\|")
+
+func parseDesignCarveTable(t *testing.T, path string) map[string][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening DESIGN.md: %v", err)
+	}
+	defer f.Close()
+
+	out := make(map[string][]string)
+	in9 := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "## ") {
+			in9 = strings.HasPrefix(line, "## 9.")
+			continue
+		}
+		if !in9 {
+			continue
+		}
+		m := carveRowRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var seq []string
+		for _, cell := range strings.Split(m[2], ",") {
+			if name := strings.Trim(strings.TrimSpace(cell), "`"); name != "" {
+				seq = append(seq, name)
+			}
+		}
+		out[modulePath+"/"+m[1]] = seq
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("found no §9 carve-order rows in DESIGN.md — did the table move out of section 9?")
+	}
+	return out
+}

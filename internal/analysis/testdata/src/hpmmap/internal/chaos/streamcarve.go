@@ -1,0 +1,33 @@
+// Golden testdata for streamcarve: the registered chaos.New carve
+// sequence in the committed order, with a forbidden parent-stream draw
+// inserted inside the carve window, plus an unregistered carve site.
+package chaos
+
+import "hpmmap/internal/sim"
+
+type Injector struct {
+	seed          uint64
+	rnd           *sim.Rand
+	spikeRand     *sim.Rand
+	buddyRand     *sim.Rand
+	swapRand      *sim.Rand
+	pcRand        *sim.Rand
+	tlbRand       *sim.Rand
+	stragglerRand *sim.Rand
+	nodefailRand  *sim.Rand
+	warmup        int
+}
+
+func New(seed uint64) *Injector {
+	i := &Injector{seed: seed}
+	i.rnd = sim.NewRand(i.seed)
+	i.spikeRand = i.rnd.Split()
+	i.buddyRand = i.rnd.Split()
+	i.swapRand = i.rnd.Split()
+	i.warmup = i.rnd.Intn(8) // want `streamcarve: Intn\(\.\.\.\) draws from parent stream "i\.rnd" between substream carves`
+	i.pcRand = i.rnd.Split()
+	i.tlbRand = i.rnd.Split()
+	i.stragglerRand = i.rnd.Split()
+	i.nodefailRand = i.rnd.Split()
+	return i
+}

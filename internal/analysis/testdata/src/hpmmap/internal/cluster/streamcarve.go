@@ -1,0 +1,21 @@
+// Golden testdata for streamcarve: carving a substream in a function
+// that is not in the registry, with and without //detsim:allow.
+package cluster
+
+import "hpmmap/internal/sim"
+
+type rankSeeds struct {
+	commRand *sim.Rand
+}
+
+func seedRanks(r *sim.Rand) *rankSeeds {
+	s := &rankSeeds{}
+	s.commRand = r.Split() // want `streamcarve: unregistered substream carve site hpmmap/internal/cluster\.seedRanks \(Split\(\) -> "commRand"\)`
+	return s
+}
+
+func seedScratch(r *sim.Rand) *sim.Rand {
+	//detsim:allow scratch stream for a doc example; never reaches simulated state
+	scratch := r.Split()
+	return scratch
+}

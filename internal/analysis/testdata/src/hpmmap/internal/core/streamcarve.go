@@ -1,0 +1,13 @@
+// Golden testdata for streamcarve: the registered core.Install site
+// no longer carves anything — a lost substream.
+package core
+
+import "hpmmap/internal/sim"
+
+type Manager struct {
+	rand *sim.Rand
+}
+
+func Install(r *sim.Rand) (*Manager, error) { // want `streamcarve: registered carve site hpmmap/internal/core\.Install no longer carves any substreams, but the registry lists 1 \(rand\)`
+	return &Manager{rand: sim.NewRand(7)}, nil
+}

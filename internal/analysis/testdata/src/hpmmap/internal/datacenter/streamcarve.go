@@ -1,0 +1,30 @@
+// Golden testdata for streamcarve: the registered datacenter.New
+// sequence fully matched, then one extra substream carved past the
+// registered tail without a registry entry — the evolution path the
+// registry exists to make deliberate.
+package datacenter
+
+import "hpmmap/internal/sim"
+
+type Agent struct {
+	rnd          *sim.Rand
+	churnRand    *sim.Rand
+	specRand     *sim.Rand
+	lifeRand     *sim.Rand
+	residentRand *sim.Rand
+	prioRand     *sim.Rand
+	backoffRand  *sim.Rand
+	extraRand    *sim.Rand
+}
+
+func New(seed uint64) *Agent {
+	a := &Agent{rnd: sim.NewRand(seed)}
+	a.churnRand = a.rnd.Split()
+	a.specRand = a.rnd.Split()
+	a.lifeRand = a.rnd.Split()
+	a.residentRand = a.rnd.Split()
+	a.prioRand = a.rnd.Split()
+	a.backoffRand = a.rnd.Split()
+	a.extraRand = a.rnd.Split() // want `streamcarve: substream "extraRand" is carved after the 6 registered substreams of hpmmap/internal/datacenter\.New but is not in the registry`
+	return a
+}

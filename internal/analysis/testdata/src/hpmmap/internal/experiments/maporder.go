@@ -6,6 +6,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -112,6 +114,57 @@ func maxValue(m map[string]int) int {
 		}
 	}
 	return best
+}
+
+// Ranging over maps.Keys inherits the map's randomised order: the
+// same body rules apply.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for _, k := range maps.Keys(m) { // want `maporder: map iteration order is randomised, but this loop appends to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// slices.Sorted over maps.Keys is the blessed iteration idiom: the
+// source is provably sorted, so even emitting output is safe.
+func keysSorted(w io.Writer, m map[string]int) {
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Collect-then-slices.SortFunc counts as a sort of the target.
+func collectSortFunc(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b string) int {
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
+	})
+	return keys
+}
+
+// slices.SortStableFunc likewise.
+func collectSortStableFunc(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortStableFunc(keys, func(a, b string) int {
+		if a < b {
+			return -1
+		}
+		return 1
+	})
+	return keys
 }
 
 // The escape hatch.

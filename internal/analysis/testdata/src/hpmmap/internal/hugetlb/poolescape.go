@@ -1,0 +1,46 @@
+// Golden testdata for poolescape: unsanctioned holders of pooled
+// kernel objects in every holder position, a sealed-type mention, a
+// transient (unflagged) use, and the //detsim:allow escape hatch.
+package hugetlb
+
+import (
+	"hpmmap/internal/kernel"
+	"hpmmap/internal/vma"
+)
+
+// An unsanctioned struct field holding a pooled pointer.
+type pools struct {
+	owner *kernel.Process // want `poolescape: field pools\.owner holds pooled kernel\.Process`
+	pages int
+}
+
+// Containers count: a map from zone to task slices still holds the
+// tasks past reap.
+type zoneIndex struct {
+	byZone map[int][]*kernel.Task // want `poolescape: field zoneIndex\.byZone holds pooled kernel\.Task`
+}
+
+// A named container type is a holder even without a struct around it.
+type procRing []*kernel.Process // want `poolescape: named container type procRing holds pooled kernel\.Process`
+
+// A package-level variable survives every reap by construction.
+var lastFaulting *kernel.Process // want `poolescape: package-level variable lastFaulting holds pooled kernel\.Process`
+
+// Transient use — parameters, results, locals — is free.
+func transfer(p *kernel.Process, t *kernel.Task) *kernel.Process {
+	_ = t
+	return p
+}
+
+// The escape hatch: a documented clearing discipline.
+type debugHook struct {
+	//detsim:allow cleared synchronously in Release before any reap (doc example)
+	last *kernel.Task
+}
+
+// Sealed types must not be mentioned outside their owner at all, even
+// in transient positions.
+func sealedPeek() {
+	var cached *vma.VMA // want `poolescape: sealed pooled type hpmmap/internal/vma\.VMA mentioned outside its owning package`
+	_ = cached
+}

@@ -1,0 +1,20 @@
+// Minimal pooled-type declarations matching the real kernel package:
+// poolescape keys pooled types by package path + name, so the hugetlb
+// golden's imports resolve to these under the real import path. The
+// holders here (Process.tasks, Task.Proc) are themselves sanctioned
+// registry entries, so this file adds no diagnostics to the kernel
+// goldens.
+package kernel
+
+type Process struct {
+	PID   int
+	tasks []*Task
+}
+
+type Task struct {
+	TID  int
+	Proc *Process
+}
+
+// Tasks exposes the task list transiently (callers must not retain).
+func (p *Process) Tasks() []*Task { return p.tasks }

@@ -1,0 +1,17 @@
+// Golden testdata for streamcarve: the registered linuxmm.New site
+// assigns its Split to the wrong destination — a carve-order mismatch
+// at position 1.
+package linuxmm
+
+import "hpmmap/internal/sim"
+
+type Manager struct {
+	rand      *sim.Rand
+	wrongDest *sim.Rand
+}
+
+func New(r *sim.Rand) *Manager {
+	m := &Manager{}
+	m.wrongDest = r.Split() // want `streamcarve: carve order mismatch in hpmmap/internal/linuxmm\.New at position 1: this Split\(\) assigns to "wrongDest" but the registry lists "rand"`
+	return m
+}

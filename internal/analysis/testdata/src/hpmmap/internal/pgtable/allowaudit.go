@@ -1,0 +1,23 @@
+// Testdata for allowaudit, checked programmatically in TestAllowaudit
+// rather than via // want comments: the stale diagnostic lands on the
+// //detsim:allow line itself, where a want comment cannot coexist
+// with the directive.
+package pgtable
+
+// A live directive: maporder suppresses a float-accumulation finding
+// here, so the directive is consumed and allowaudit stays quiet.
+func liveDirective(m map[int]float64) float64 {
+	var total float64
+	//detsim:allow doc example: total feeds no artifact
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A stale directive: nothing below it triggers any analyzer, so the
+// suppression is dead weight and allowaudit flags it.
+func staleDirective(x int) int {
+	//detsim:allow doc example: nothing here needs suppressing
+	return x + 1
+}

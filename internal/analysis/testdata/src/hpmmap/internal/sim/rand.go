@@ -1,0 +1,16 @@
+// Minimal stand-in for the real sim.Rand so streamcarve goldens can
+// type-check Split/draw sequences under the real import path.
+package sim
+
+type Rand struct{ s uint64 }
+
+func NewRand(seed uint64) *Rand { return &Rand{s: seed} }
+
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return r.s
+}
+
+func (r *Rand) Split() *Rand { return NewRand(r.Uint64()) }
+
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }

@@ -1,0 +1,13 @@
+// Golden testdata for streamcarve: the registered thp.Start site in
+// its committed composite-literal form. No diagnostics expected.
+package thp
+
+import "hpmmap/internal/sim"
+
+type Daemon struct {
+	rand *sim.Rand
+}
+
+func Start(r *sim.Rand) *Daemon {
+	return &Daemon{rand: r.Split()}
+}

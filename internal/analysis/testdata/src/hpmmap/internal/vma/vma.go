@@ -1,0 +1,16 @@
+// Minimal stand-in for the real vma package: VMA is the sealed pooled
+// type, and Space's own fields demonstrate that the owning package is
+// exempt from both the holder rule and the seal (its pool mechanics
+// ARE the ownership the seal protects).
+package vma
+
+type VMA struct {
+	Start, End uint64
+}
+
+type Space struct {
+	vmas []*VMA
+	pool []*VMA
+}
+
+func (s *Space) Len() int { return len(s.vmas) }

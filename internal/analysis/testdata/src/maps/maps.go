@@ -1,0 +1,17 @@
+// Shadow of the standard-library maps package for the maporder
+// goldens. The atest loader resolves testdata packages before the
+// standard library, so these goldens type-check identically on
+// toolchains that predate the real package (and independently of its
+// iterator-vs-slice signature evolution) while exercising the same
+// import path the analyzer keys on. Non-generic, specialized to the
+// golden's element types.
+package maps
+
+// Keys returns the keys of m in unspecified (map) order.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

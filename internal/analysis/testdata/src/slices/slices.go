@@ -1,0 +1,35 @@
+// Shadow of the standard-library slices package for the maporder
+// goldens — see testdata/src/maps/maps.go for why. Non-generic,
+// specialized to []string; sorting is a dependency-free insertion
+// sort (the goldens only type-check and analyze, they never run).
+package slices
+
+// Sort sorts s in ascending order.
+func Sort(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SortFunc sorts s by cmp.
+func SortFunc(s []string, cmp func(a, b string) int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && cmp(s[j], s[j-1]) < 0; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SortStableFunc sorts s by cmp, keeping equal elements in order.
+func SortStableFunc(s []string, cmp func(a, b string) int) {
+	SortFunc(s, cmp)
+}
+
+// Sorted returns a sorted copy of s.
+func Sorted(s []string) []string {
+	out := append([]string(nil), s...)
+	Sort(out)
+	return out
+}

@@ -38,13 +38,14 @@ var WallclockAnalyzer = &analysis.Analyzer{
 		"discrete-event engine. Any reference to a wall-clock function —\n" +
 		"including passing time.Now as a value — is reported unless the\n" +
 		"line carries a //detsim:allow <reason> directive.",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runWallclock,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: directiveIndexResult,
+	Run:        runWallclock,
 }
 
 func runWallclock(pass *analysis.Pass) (interface{}, error) {
 	if !isSimPackage(pass.Pkg.Path()) {
-		return nil, nil
+		return directiveIndex(nil), nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	allow := buildDirectiveIndex(pass)
@@ -65,5 +66,5 @@ func runWallclock(pass *analysis.Pass) (interface{}, error) {
 			"wallclock: time.%s in simulated-state package %s — simulation time must come from the engine (sim.Engine), never the host clock; use //detsim:allow <reason> only for code provably outside the simulated path",
 			obj.Name(), pass.Pkg.Path())
 	})
-	return nil, nil
+	return allow, nil
 }

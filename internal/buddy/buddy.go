@@ -115,6 +115,7 @@ func (a *Allocator) AddRegion(base, size uint64) error {
 	return nil
 }
 
+//detsim:hotpath
 func (r *region) push(order int, off uint64) {
 	s := r.slot(order, off)
 	if r.freeBit[order][s] {
@@ -125,10 +126,13 @@ func (r *region) push(order int, off uint64) {
 	}
 	r.freeBit[order][s] = true
 	r.count[order]++
+	//detsim:allow pooled capacity: the per-order free stack refills capacity released by pop; growth is bounded by region size and amortised (DESIGN.md §10)
 	r.stack[order] = append(r.stack[order], off)
 }
 
 // pop returns a free block of exactly the given order.
+//
+//detsim:hotpath
 func (r *region) pop(order int) (uint64, bool) {
 	s := r.stack[order]
 	// The stack may contain offsets that were removed out-of-band during
@@ -148,6 +152,8 @@ func (r *region) pop(order int) (uint64, bool) {
 }
 
 // take removes a specific free block, returning false if absent.
+//
+//detsim:hotpath
 func (r *region) take(order int, off uint64) bool {
 	s := r.slot(order, off)
 	if !r.freeBit[order][s] {
@@ -178,6 +184,8 @@ func (a *Allocator) BlockSize(size uint64) uint64 {
 // Alloc returns the physical base address of a free block of at least size
 // bytes (rounded up to a power-of-two block). The second result is the
 // actual block size.
+//
+//detsim:hotpath
 func (a *Allocator) Alloc(size uint64) (uint64, uint64, error) {
 	if size == 0 {
 		return 0, 0, fmt.Errorf("buddy: Alloc(0)")
@@ -209,6 +217,8 @@ func (a *Allocator) Alloc(size uint64) (uint64, uint64, error) {
 
 // Free returns a block previously obtained from Alloc. size must be the
 // block size Alloc returned.
+//
+//detsim:hotpath
 func (a *Allocator) Free(addr, size uint64) {
 	r := a.regionOf(addr)
 	if r == nil {

@@ -563,6 +563,8 @@ func (m *Manager) Mprotect(p *kernel.Process, addr pgtable.VirtAddr, length uint
 
 // TouchRange implements kernel.MemoryManager: valid accesses generate no
 // page faults at all — the defining property of on-request allocation.
+//
+//detsim:hotpath
 func (m *Manager) TouchRange(p *kernel.Process, addr pgtable.VirtAddr, length uint64) (kernel.TouchStats, error) {
 	ps := state(p)
 	r := findRegion(ps, addr)

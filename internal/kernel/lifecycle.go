@@ -44,6 +44,8 @@ func (n *Node) LifecyclePooling() bool { return n.poolLifecycle }
 // finished, nothing on a runqueue. Callers must guarantee no event
 // closure touches the process after this call (see the package comment
 // above); when in doubt, use Exit.
+//
+//detsim:hotpath
 func (n *Node) ExitReap(p *Process) {
 	if p.Exited {
 		return
@@ -67,6 +69,8 @@ func (n *Node) ExitReap(p *Process) {
 // reap recycles a detached process's structs if it is quiescent. The
 // Space and page table are kept with the struct (they reset on reuse);
 // tasks go to their own free list.
+//
+//detsim:hotpath
 func (n *Node) reap(p *Process) {
 	if p.running != 0 {
 		return
@@ -89,6 +93,7 @@ func (n *Node) reap(p *Process) {
 	}
 	for _, t := range p.tasks {
 		*t = Task{}
+		//detsim:allow this IS the lifecycle pool (DESIGN.md §11): growth is the pool warming up, amortised to 0 B/op at steady churn
 		n.pool.tasks = append(n.pool.tasks, t)
 	}
 	sp, pt := p.Space, p.PT
@@ -96,12 +101,15 @@ func (n *Node) reap(p *Process) {
 	pmc := p.PendingMergeCosts[:0]
 	pec := p.PendingEvictCosts[:0]
 	*p = Process{Space: sp, PT: pt, tasks: tasks, PendingMergeCosts: pmc, PendingEvictCosts: pec}
+	//detsim:allow this IS the lifecycle pool (DESIGN.md §11): growth is the pool warming up, amortised to 0 B/op at steady churn
 	n.pool.procs = append(n.pool.procs, p)
 }
 
 // procStruct pops a recycled Process (with its Space and page table
 // reset to newborn state) or returns nil when the pool is empty or
 // pooling is off. The caller fills in identity fields.
+//
+//detsim:hotpath
 func (n *Node) procStruct() *Process {
 	if !n.poolLifecycle {
 		return nil
@@ -119,6 +127,8 @@ func (n *Node) procStruct() *Process {
 }
 
 // taskStruct pops a recycled Task or returns nil.
+//
+//detsim:hotpath
 func (n *Node) taskStruct() *Task {
 	if !n.poolLifecycle {
 		return nil

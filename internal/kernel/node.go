@@ -451,6 +451,8 @@ func (n *Node) LoadFor(p *Process) fault.Load {
 // file I/O). When allocation fails the oldest cache blocks are recycled —
 // the cache never pushes the system to OOM, it just keeps memory at the
 // watermarks, exactly the sustained-pressure regime of the paper.
+//
+//detsim:hotpath
 func (n *Node) PageCacheAdd(zone int, bytes uint64) {
 	blocks := bytes / (mem.PageSize << pcOrder)
 	if blocks == 0 {
@@ -492,6 +494,8 @@ func (n *Node) PageCacheAdd(zone int, bytes uint64) {
 func (n *Node) PageCachePages(zone int) uint64 { return n.pcPages[zone] }
 
 // dropOneCacheBlock evicts one block from the fullest zone's cache.
+//
+//detsim:hotpath
 func (n *Node) dropOneCacheBlock() bool {
 	best := -1
 	for z := range n.pageCache {

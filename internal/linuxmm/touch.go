@@ -50,6 +50,8 @@ func (tc *touchCtx) chargeBulk(k fault.Kind, n uint64, total sim.Cycles) {
 
 // TouchRange implements kernel.MemoryManager: the process accesses
 // [addr, addr+length); unmaterialized pages fault.
+//
+//detsim:hotpath
 func (m *Manager) TouchRange(p *kernel.Process, addr pgtable.VirtAddr, length uint64) (kernel.TouchStats, error) {
 	ps := state(p)
 	r := ps.findRegion(addr)
@@ -118,6 +120,8 @@ func (m *Manager) costs() fault.CostParams { return m.node.Config().Costs }
 
 // touchDemand materializes [from, to) of a demand-paged region: THP large
 // chunks inside the eligible span, 4KB everywhere else.
+//
+//detsim:hotpath
 func (m *Manager) touchDemand(tc *touchCtx, from, to uint64) {
 	r := tc.r
 	// Copy-on-write prefix inherited from a fork parent: writes allocate
@@ -153,6 +157,7 @@ func (m *Manager) touchDemand(tc *touchCtx, from, to uint64) {
 				full = (hi - r.largeLo) / mem.LargePageSize
 			}
 			for r.heapChunks < full {
+				//detsim:allow pooled region state (DESIGN.md §11): fallback keeps its capacity across DetachReap recycling, 0 B/op at steady state
 				r.fallback = append(r.fallback, r.largeLo+r.heapChunks*mem.LargePageSize)
 				r.heapChunks++
 			}
@@ -197,6 +202,8 @@ func (m *Manager) touchDemand(tc *touchCtx, from, to uint64) {
 }
 
 // touchLargeChunk handles one 2MB-aligned chunk in the THP span.
+//
+//detsim:hotpath
 func (m *Manager) touchLargeChunk(tc *touchCtx, off uint64) {
 	r := tc.r
 	p := tc.p
@@ -226,6 +233,7 @@ func (m *Manager) touchLargeChunk(tc *touchCtx, off uint64) {
 	if !ok {
 		// Fall back to 512 small pages; khugepaged may merge them later.
 		m.FallbackFaults++
+		//detsim:allow pooled region state (DESIGN.md §11): fallback keeps its capacity across DetachReap recycling, 0 B/op at steady state
 		r.fallback = append(r.fallback, off)
 		m.touchSmall(tc, mem.LargePageSize, va)
 		return
@@ -234,6 +242,7 @@ func (m *Manager) touchLargeChunk(tc *touchCtx, off uint64) {
 		m.Compactions++
 	}
 	m.LargeFaults++
+	//detsim:allow pooled region state (DESIGN.md §11): largeFrames keeps its capacity across DetachReap recycling, 0 B/op at steady state
 	r.largeFrames = append(r.largeFrames, largeFrame{pfn: pfn, zone: zone})
 	r.largeBytes += mem.LargePageSize
 	p.ResidentLarge += mem.LargePageSize
@@ -258,6 +267,8 @@ func (m *Manager) touchLargeChunk(tc *touchCtx, off uint64) {
 // allocLarge tries a watermark-gated order-9 allocation, compacting
 // (evicting page cache, which really coalesces the buddy) when the first
 // attempt fails.
+//
+//detsim:hotpath
 func (m *Manager) allocLarge(preferred int) (mem.PFN, int, bool, bool) {
 	if pfn, z, ok := m.gatedAlloc(preferred, mem.LargePageOrder); ok {
 		return pfn, z, false, true
@@ -272,6 +283,8 @@ func (m *Manager) allocLarge(preferred int) (mem.PFN, int, bool, bool) {
 
 // gatedAlloc allocates 2^order pages respecting the min watermark, as the
 // kernel's normal (non-ALLOC_HARDER) paths do.
+//
+//detsim:hotpath
 func (m *Manager) gatedAlloc(preferred, order int) (mem.PFN, int, bool) {
 	zones := m.node.Mem.Zones
 	for i := 0; i < len(zones); i++ {
@@ -305,6 +318,8 @@ type allocSeg struct {
 // every zone was probed and refused — the equivalent of one failed
 // gatedAlloc, so callers go straight to the reclaim slow path without
 // re-probing.
+//
+//detsim:hotpath
 func (m *Manager) gatedAllocRun(preferred, order int, want uint64) uint64 {
 	m.runPFNs = m.runPFNs[:0]
 	m.runSegs = m.runSegs[:0]
@@ -334,6 +349,8 @@ func (m *Manager) gatedAllocRun(preferred, order int, want uint64) uint64 {
 }
 
 // touchSmall materializes bytes of 4KB-mapped memory starting at va.
+//
+//detsim:hotpath
 func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 	r := tc.r
 	p := tc.p
@@ -367,6 +384,7 @@ func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 				}
 			}
 			for _, pfn := range m.runPFNs {
+				//detsim:allow pooled region state (DESIGN.md §11): smallBlocks keeps its capacity across DetachReap recycling, 0 B/op at steady state
 				r.smallBlocks = append(r.smallBlocks, smallBlock{pfn: pfn, order: order})
 			}
 			r.smallBytes += got * mem.BytesPerOrder(order)
@@ -432,6 +450,7 @@ func (m *Manager) touchSmall(tc *touchCtx, bytes uint64, va pgtable.VirtAddr) {
 			r.remoteBytes += mem.BytesPerOrder(order)
 			p.ResidentRemote += mem.BytesPerOrder(order)
 		}
+		//detsim:allow pooled region state (DESIGN.md §11): smallBlocks keeps its capacity across DetachReap recycling, 0 B/op at steady state
 		r.smallBlocks = append(r.smallBlocks, smallBlock{pfn: pfn, order: order})
 		taken := mem.PagesPerOrder(order)
 		if taken > need {

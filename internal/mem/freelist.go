@@ -37,11 +37,13 @@ func (f *freeList) slot(p PFN) uint64 { return uint64(p-f.base) >> f.shift }
 
 func (f *freeList) len() int { return len(f.items) }
 
+//detsim:hotpath
 func (f *freeList) contains(p PFN) bool {
 	s := f.slot(p)
 	return s < uint64(len(f.idx)) && f.idx[s] != 0
 }
 
+//detsim:hotpath
 func (f *freeList) push(p PFN) {
 	s := f.slot(p)
 	if f.idx[s] != 0 {
@@ -50,11 +52,14 @@ func (f *freeList) push(p PFN) {
 		invariant.Failf("free_list_double_push", "mem",
 			"frame %d pushed onto a free list it is already on", p)
 	}
+	//detsim:allow pooled capacity: items is sized to the region at construction and only refills freed slots; growth beyond the high-water mark is amortised once per region (DESIGN.md §10)
 	f.items = append(f.items, p)
 	f.idx[s] = int32(len(f.items))
 }
 
 // pop removes and returns the most recently freed block.
+//
+//detsim:hotpath
 func (f *freeList) pop() (PFN, bool) {
 	n := len(f.items)
 	if n == 0 {
@@ -68,6 +73,8 @@ func (f *freeList) pop() (PFN, bool) {
 
 // remove deletes a specific block (swap-remove). Reports whether it was
 // present.
+//
+//detsim:hotpath
 func (f *freeList) remove(p PFN) bool {
 	s := f.slot(p)
 	if s >= uint64(len(f.idx)) || f.idx[s] == 0 {
