@@ -88,15 +88,19 @@ lint-report:
 #     pooled variant must beat the unpooled baseline (>= 2x ns/op and
 #     0 B/op at steady state — pooled results are printed first);
 #  4. the simulator-throughput record: cmd/hpmmap-perf runs a reduced
-#     Fig. 7 grid bare / observed / series-sampled, compares cells/sec
-#     against the committed BENCH_6.json (read before it is rewritten)
-#     and FAILS on a >10% regression, then refreshes the record.
+#     Fig. 7 grid bare / observed / series-sampled / ledgered, compares
+#     cells/sec against the committed BENCH_6.json (read before it is
+#     rewritten) and FAILS on a >10% regression, then refreshes the
+#     record. Each run also appends its record to bench-history.jsonl
+#     (gitignored), a run ledger queryable with
+#     `go run ./cmd/hpmmap-ledger summary bench-history.jsonl`.
 bench:
 	$(GO) test -bench 'Fault' -benchmem ./internal/metrics/
 	$(GO) test -run xxx -bench 'TouchDemand|TouchHugetlb|GatedAlloc' -benchmem ./internal/linuxmm/
 	$(GO) test -run xxx -bench 'HPMMAPTouchRange' -benchmem ./internal/core/
 	$(GO) test -run xxx -bench 'ForkExit' -benchmem ./internal/linuxmm/
 	$(GO) run ./cmd/hpmmap-perf -out BENCH_6.json -baseline BENCH_6.json -regress-pct 10 \
+		-ledger bench-history.jsonl \
 		-cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof
 
 # Quick contention-storm study (see DESIGN.md §8): chaos intensity x

@@ -54,8 +54,15 @@
 // Observability (see OBSERVABILITY.md):
 //
 //	-metrics <file>    dump the experiment's merged metric snapshot
-//	                   ("-" = stdout; a .json suffix selects JSON,
+//	                   ("-" = stdout; a .json suffix selects JSON, a
+//	                   .prom suffix the OpenMetrics exposition format,
 //	                   anything else the Prometheus-style text format)
+//	-ledger <file>     append a JSONL run ledger: canonical records
+//	                   (manifest/cell_start/cell_finish/plan_end, byte-
+//	                   identical at any worker count and cache state)
+//	                   plus a host annex (per-cell wall clock and
+//	                   allocations, retries, timeouts, cache traffic);
+//	                   inspect with hpmmap-ledger summary/diff/watch
 //	-trace-out <file>  write a Chrome trace-event JSON file of the run,
 //	                   loadable in Perfetto (ui.perfetto.dev) or
 //	                   chrome://tracing, timestamped by simulated cycles
@@ -92,6 +99,7 @@ import (
 	"time"
 
 	"hpmmap/internal/experiments"
+	"hpmmap/internal/ledger"
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
 )
@@ -112,7 +120,8 @@ func main() {
 		plotH    = flag.Int("plot-height", 18, "timeline plot height")
 		outDir   = flag.String("out", "", "also write machine-readable CSVs into this directory")
 
-		metricsOut = flag.String("metrics", "", `write the experiment's merged metric snapshot to this file ("-" = stdout; .json = JSON, else text); supported by fig2-fig5, fig7, fig8, attribution`)
+		metricsOut = flag.String("metrics", "", `write the experiment's merged metric snapshot to this file ("-" = stdout; .json = JSON, .prom = OpenMetrics, else text); supported by fig2-fig5, fig7, fig8, attribution`)
+		ledgerOut  = flag.String("ledger", "", "append a JSONL run ledger to this file: canonical records (manifest/cell_start/cell_finish/plan_end) plus a host annex (timings, retries, cache traffic); inspect with hpmmap-ledger")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable) of the experiment's cells")
 		seriesOut  = flag.String("series", "", "sample each cell's memory-state time series and write a long-format CSV to this file; sampling bypasses -cache-dir both ways")
 
@@ -145,7 +154,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	closeLedger := func() {} // reassigned once -ledger (below) is opened
 	stopProfiles := func() {
+		closeLedger()
 		if *cpuProfile != "" {
 			pprof.StopCPUProfile()
 		}
@@ -188,7 +199,32 @@ func main() {
 		}
 	}
 
-	observing := *metricsOut != "" || *traceOut != "" || *seriesOut != ""
+	var led *ledger.Ledger
+	if *ledgerOut != "" {
+		var err error
+		led, err = ledger.Open(*ledgerOut, ledger.Meta{
+			Model: experiments.ModelVersion,
+			Scale: *scale,
+			Flags: map[string]string{"exp": *exp, "study": *studyFlag},
+		})
+		if err != nil {
+			fatal("%v\n", err)
+		}
+	}
+	closeLedger = func() {
+		if led == nil {
+			return
+		}
+		if cache != nil {
+			led.CacheCorrupt(cache.CorruptCount())
+		}
+		if err := led.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hpmmap-bench: ledger: %v\n", err)
+		}
+		led = nil
+	}
+
+	observing := *metricsOut != "" || *traceOut != "" || *seriesOut != "" || led != nil
 	if *traceOut != "" && cache != nil {
 		fmt.Fprintln(os.Stderr, "hpmmap-bench: note: cells served from -cache-dir replay cached metrics but contribute no trace events")
 	}
@@ -206,6 +242,7 @@ func main() {
 		if *seriesOut != "" {
 			obs.EnableSeries()
 		}
+		obs.SetLedger(led)
 		return obs
 	}
 	writeArtifacts := func(name string, obs *runner.Observations) error {
@@ -744,8 +781,11 @@ func artifactPath(path, name string, multi bool) string {
 // format.
 func writeMetricsFile(path string, snap metrics.Snapshot) error {
 	write := snap.WriteText
-	if strings.HasSuffix(path, ".json") {
+	switch {
+	case strings.HasSuffix(path, ".json"):
 		write = snap.WriteJSON
+	case strings.HasSuffix(path, ".prom"):
+		write = snap.WriteOpenMetrics
 	}
 	if path == "-" {
 		return write(os.Stdout)

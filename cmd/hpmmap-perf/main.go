@@ -1,13 +1,14 @@
 // Command hpmmap-perf measures the simulator's own performance — not
 // the simulated application's — and emits a machine-readable benchmark
 // record (BENCH_6.json by default) that tracks the repository's
-// performance trajectory. It runs a reduced Figure 7 grid three ways
+// performance trajectory. It runs a reduced Figure 7 grid four ways
 // with identical seeds — bare (no instrumentation), observed (metrics +
-// trace attached, the PR 2 layer), and sampled (series sampler on top)
-// — and reports wall-clock, cells per second, and the relative
-// overheads. Sampler overhead compares sampled against observed,
-// isolating the sampler from the rest of the instrumentation; its
-// budget is <= 5% (see OBSERVABILITY.md).
+// trace attached, the PR 2 layer), sampled (series sampler on top), and
+// ledgered (observed plus a run-ledger journal) — and reports
+// wall-clock, cells per second, and the relative overheads. Sampler and
+// ledger overheads compare against observed, isolating each layer from
+// the rest of the instrumentation; their budgets are <= 5% and <= 2%
+// respectively (see OBSERVABILITY.md).
 //
 // Single-run timings on a small CI box are noise-dominated (ISSUE 6:
 // BENCH_5.json recorded a *negative* sampler overhead because one run's
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -42,6 +44,7 @@ import (
 	"time"
 
 	"hpmmap/internal/experiments"
+	"hpmmap/internal/ledger"
 	"hpmmap/internal/runner"
 )
 
@@ -62,9 +65,11 @@ type record struct {
 	BareSec            float64 `json:"bare_sec"`     // median over reps
 	ObservedSec        float64 `json:"observed_sec"` // median over reps
 	SampledSec         float64 `json:"sampled_sec"`  // median over reps
+	LedgeredSec        float64 `json:"ledgered_sec"` // median over reps
 	CellsPerSec        float64 `json:"cells_per_sec"`
 	ObserveOverheadPct float64 `json:"observe_overhead_pct"`
 	SamplerOverheadPct float64 `json:"sampler_overhead_pct"`
+	LedgerOverheadPct  float64 `json:"ledger_overhead_pct"` // ledgered vs bare; budget <= 2%
 	SeriesSamples      float64 `json:"series_samples"`
 }
 
@@ -93,6 +98,7 @@ func main() {
 	regressPct := flag.Float64("regress-pct", 10, "max tolerated cells/sec regression vs -baseline, in percent")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measured grid to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile (after the grid) to this file")
+	ledgerOut := flag.String("ledger", "", "append this run's bench record to the given JSONL run ledger (created if missing)")
 	flag.Parse()
 
 	var coreCounts []int
@@ -176,10 +182,16 @@ func main() {
 		return time.Since(t0).Seconds()
 	}
 
-	// Interleaved rounds: one (bare, observed, sampled) triple per rep,
-	// so slow machine-level drift hits all three variants alike instead
-	// of biasing whichever variant ran last.
-	var bare, observed, sampled []float64
+	// Interleaved rounds: one (bare, observed, sampled, ledgered) tuple
+	// per rep, so slow machine-level drift hits all variants alike
+	// instead of biasing whichever variant ran last.
+	ledgerDir, err := os.MkdirTemp("", "hpmmap-perf-ledger")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(ledgerDir)
+	var bare, observed, sampled, ledgered []float64
 	var samples float64
 	for r := 0; r < *reps; r++ {
 		bare = append(bare, measure(nil))
@@ -193,6 +205,22 @@ func main() {
 					samples = m.Value
 				}
 			}
+		}
+		// Ledgered: observed plus a run ledger journaling every cell to a
+		// throwaway file, isolating the journal's cost from the rest of
+		// the instrumentation (compare against observed, like sampler).
+		lobs := runner.NewObservations(0)
+		l, err := ledger.Open(filepath.Join(ledgerDir, fmt.Sprintf("rep%d.jsonl", r)),
+			ledger.Meta{Model: *bench, Scale: *scale})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lobs.SetLedger(l)
+		ledgered = append(ledgered, measure(lobs))
+		if err := l.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 
@@ -214,7 +242,7 @@ func main() {
 	if resolvedWorkers <= 0 {
 		resolvedWorkers = runtime.NumCPU()
 	}
-	bareMed, obsMed, sampMed := median(bare), median(observed), median(sampled)
+	bareMed, obsMed, sampMed, ledgMed := median(bare), median(observed), median(sampled), median(ledgered)
 	rec := record{
 		Issue:       6,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -231,9 +259,11 @@ func main() {
 		BareSec:            bareMed,
 		ObservedSec:        obsMed,
 		SampledSec:         sampMed,
+		LedgeredSec:        ledgMed,
 		CellsPerSec:        float64(cells) / bareMed,
 		ObserveOverheadPct: 100 * (obsMed - bareMed) / bareMed,
 		SamplerOverheadPct: 100 * (sampMed - obsMed) / obsMed,
+		LedgerOverheadPct:  100 * (ledgMed - obsMed) / obsMed,
 		SeriesSamples:      samples,
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")
@@ -245,9 +275,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%d cells x %d reps: bare %.2fs (%.2f cells/s), observed %.2fs (%+.1f%%), sampled %.2fs (sampler %+.1f%%, %.0f samples) -> %s\n",
+	fmt.Printf("%d cells x %d reps: bare %.2fs (%.2f cells/s), observed %.2fs (%+.1f%%), sampled %.2fs (sampler %+.1f%%, %.0f samples), ledgered %.2fs (ledger %+.1f%%) -> %s\n",
 		cells, *reps, rec.BareSec, rec.CellsPerSec, rec.ObservedSec, rec.ObserveOverheadPct,
-		rec.SampledSec, rec.SamplerOverheadPct, samples, *out)
+		rec.SampledSec, rec.SamplerOverheadPct, samples, rec.LedgeredSec, rec.LedgerOverheadPct, *out)
+
+	if *ledgerOut != "" {
+		compact, err := json.Marshal(rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		l, err := ledger.OpenAppend(*ledgerOut, ledger.Meta{Model: *bench, Scale: *scale})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		l.BenchRecord(compact)
+		if err := l.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if haveBaseline {
 		change := 100 * (rec.CellsPerSec - brec.CellsPerSec) / brec.CellsPerSec

@@ -21,6 +21,7 @@ import (
 
 	"hpmmap/internal/experiments"
 	"hpmmap/internal/fault"
+	"hpmmap/internal/ledger"
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/runner"
 )
@@ -48,9 +49,10 @@ func main() {
 	verbose := flag.Bool("v", false, "per-cell progress with ETA on stderr")
 	skipFig7 := flag.Bool("skip-fig7", false, "skip the single-node sweep")
 	skipFig8 := flag.Bool("skip-fig8", false, "skip the cluster sweep")
-	metricsOut := flag.String("metrics", "", `write the report's merged metric snapshot to this file ("-" = stderr-free stdout is taken by the report, so "-" is rejected; .json = JSON, else text)`)
+	metricsOut := flag.String("metrics", "", `write the report's merged metric snapshot to this file ("-" = stderr-free stdout is taken by the report, so "-" is rejected; .json = JSON, .prom = OpenMetrics, else text)`)
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON per section (name spliced in: trace.json -> trace-fig2.json)")
 	seriesOut := flag.String("series", "", "write per-cell time-series samples as CSV per section (name spliced in: series.csv -> series-fig7.csv); sampling bypasses the result cache")
+	ledgerOut := flag.String("ledger", "", "append a JSONL run ledger of every section's plan to this file; inspect with hpmmap-ledger")
 	flag.Parse()
 	if *metricsOut == "-" {
 		fmt.Fprintln(os.Stderr, "hpmmap-report: -metrics - is unsupported (stdout carries the report); use a file path")
@@ -86,7 +88,30 @@ func main() {
 	// Per-section observability collectors: one per experiment so cell
 	// indexes (trace pids) never collide. Metrics merge into one file at
 	// the end; traces are written per section.
-	observing := *metricsOut != "" || *traceOut != "" || *seriesOut != ""
+	var led *ledger.Ledger
+	if *ledgerOut != "" {
+		var err error
+		led, err = ledger.Open(*ledgerOut, ledger.Meta{
+			Model: experiments.ModelVersion,
+			Scale: *scale,
+			Flags: map[string]string{"exp": "report"},
+		})
+		must(err)
+	}
+	closeLedger := func() {
+		if led == nil {
+			return
+		}
+		if cache != nil {
+			led.CacheCorrupt(cache.CorruptCount())
+		}
+		if err := led.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hpmmap-report: ledger: %v\n", err)
+		}
+		led = nil
+	}
+
+	observing := *metricsOut != "" || *traceOut != "" || *seriesOut != "" || led != nil
 	var obsSnaps []metrics.Snapshot
 	obsFor := func(name string) *runner.Observations {
 		if !observing {
@@ -96,6 +121,7 @@ func main() {
 		if *seriesOut != "" {
 			obs.EnableSeries()
 		}
+		obs.SetLedger(led)
 		return obs
 	}
 	// splice turns artifact.ext into artifact-name.ext for per-section files.
@@ -130,8 +156,11 @@ func main() {
 		}
 		merged := metrics.Merge(obsSnaps...)
 		write := merged.WriteText
-		if strings.HasSuffix(*metricsOut, ".json") {
+		switch {
+		case strings.HasSuffix(*metricsOut, ".json"):
 			write = merged.WriteJSON
+		case strings.HasSuffix(*metricsOut, ".prom"):
+			write = merged.WriteOpenMetrics
 		}
 		f, err := os.Create(*metricsOut)
 		if err != nil {
@@ -154,6 +183,7 @@ func main() {
 		if ferr := writeMergedMetrics(); ferr != nil {
 			fmt.Fprintf(os.Stderr, "hpmmap-report: flushing partial metrics: %v\n", ferr)
 		}
+		closeLedger()
 		os.Exit(1)
 	}
 
@@ -229,6 +259,7 @@ func main() {
 	collect("attribution", obs)
 
 	must(writeMergedMetrics())
+	closeLedger()
 }
 
 func faultTable(fs experiments.FaultStudy, paper map[string][2][3]float64) {

@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"hpmmap/internal/experiments"
+	"hpmmap/internal/ledger"
 	"hpmmap/internal/runner"
 	"hpmmap/internal/workload"
 )
@@ -64,6 +65,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU; table identical at any count)")
 	timeout := flag.Duration("timeout", 0, "cancel the sweep after this long (0 = none)")
 	verbose := flag.Bool("v", false, "per-cell progress with ETA on stderr")
+	ledgerOut := flag.String("ledger", "", "append a JSONL run ledger (one plan per swept knob) to this file; inspect with hpmmap-ledger")
 	flag.Parse()
 
 	spec, ok := workload.ByName(*bench)
@@ -84,6 +86,25 @@ func main() {
 		defer cancel()
 	}
 	opts := runner.Options{Workers: *workers, Context: ctx}
+	var led *ledger.Ledger
+	if *ledgerOut != "" {
+		var err error
+		led, err = ledger.Open(*ledgerOut, ledger.Meta{
+			Model: experiments.ModelVersion,
+			Scale: *scale,
+			Flags: map[string]string{"exp": "sweep", "knob": *which, "bench": *bench},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Ledger = led
+	}
+	closeLedger := func() {
+		if err := led.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hpmmap-sweep: ledger: %v\n", err)
+		}
+	}
 	if *verbose {
 		// Serialized sink: the runner never overlaps invocations, so
 		// writing to stderr without locking is safe.
@@ -131,6 +152,7 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			closeLedger()
 			os.Exit(1)
 		}
 
@@ -157,4 +179,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	closeLedger()
 }

@@ -70,6 +70,7 @@ var simPackages = map[string]bool{
 	modulePath + "/internal/chaos":       true,
 	modulePath + "/internal/invariant":   true,
 	modulePath + "/internal/datacenter":  true,
+	modulePath + "/internal/ledger":      true,
 }
 
 // isSimPackage reports whether path is a simulated-state package.

@@ -22,6 +22,14 @@ func TestWallclockAllowlistedPackage(t *testing.T) {
 	atest.Run(t, "testdata", WallclockAnalyzer, "hpmmap/internal/runner")
 }
 
+// TestWallclockLedgerHostAnnexExempt: internal/ledger is a sim package
+// whose host.go (the host-annex writer) is the one file-scoped clock
+// exemption; the seeded violations in ledger.go prove the exemption
+// does not leak to the canonical side.
+func TestWallclockLedgerHostAnnexExempt(t *testing.T) {
+	atest.Run(t, "testdata", WallclockAnalyzer, "hpmmap/internal/ledger")
+}
+
 func TestRandsource(t *testing.T) {
 	atest.Run(t, "testdata", RandsourceAnalyzer, "hpmmap/internal/workload")
 }

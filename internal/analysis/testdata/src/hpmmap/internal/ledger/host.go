@@ -1,0 +1,15 @@
+// The host-annex writer is the one sanctioned wall-clock site in the
+// ledger package: host records are excluded from the canonical
+// projection, so nothing here can reach a deterministic artifact. No
+// diagnostics are expected in this file.
+package ledger
+
+import "time"
+
+func hostManifest() Record {
+	return Record{T: "host_manifest", Stamp: time.Now().UTC().Format(time.RFC3339Nano)}
+}
+
+func cellWall(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,25 @@
+// Golden testdata for the wallclock analyzer's ledger exemption:
+// hpmmap/internal/ledger is a simulated-state package, so clock reads
+// in this file (the canonical-projection side) are violations — the
+// exemption is scoped to host.go alone, and a wall-clock call drifting
+// into the canonical writer must be caught.
+package ledger
+
+import "time"
+
+// Record is a stand-in for the real JSONL record.
+type Record struct {
+	T     string
+	Stamp string
+}
+
+func canonicalRecord() Record {
+	// Seeded violation: timestamping a canonical record would break the
+	// byte-identity contract, and the analyzer must say so.
+	now := time.Now() // want `wallclock: time.Now in simulated-state package`
+	return Record{T: "cell_finish", Stamp: now.String()}
+}
+
+func canonicalWait() {
+	time.Sleep(time.Millisecond) // want `wallclock: time.Sleep in simulated-state package`
+}

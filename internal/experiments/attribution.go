@@ -96,6 +96,7 @@ func RunAttributionStudy(o AttributionStudyOptions) ([]AttributionCell, error) {
 		Workers:  o.Workers,
 		Context:  o.Context,
 		Progress: runtimeProgress(o.Progress),
+		Ledger:   o.Obs.LedgerSink(),
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (cellOut, error) {
 		attr := timeline.NewAttribution(o.Ranks)
 		reg, tr := o.Obs.Cell(idx, cell.String())

@@ -219,6 +219,7 @@ func ChaosStudyRun(o ChaosStudyOptions) (ChaosStudy, error) {
 		CellTimeout:     o.CellTimeout,
 		Retries:         o.Retries,
 		Metrics:         o.Obs.PlanRegistry(),
+		Ledger:          o.Obs.LedgerSink(),
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (chaosCell, error) {
 		poisoned := idx == o.PoisonCell
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
@@ -228,10 +229,14 @@ func ChaosStudyRun(o ChaosStudyOptions) (ChaosStudy, error) {
 		// real result.
 		if !poisoned && o.Cache.Get(key, &cc) {
 			if o.Obs == nil || len(cc.Metrics.Metrics) > 0 {
+				o.Obs.LedgerSink().CacheHit(idx)
 				o.Obs.Record(idx, cc.Metrics)
 				return cc, nil
 			}
 			cc = chaosCell{}
+		}
+		if !poisoned && o.Cache != nil {
+			o.Obs.LedgerSink().CacheMiss(idx)
 		}
 		reg, tr := o.Obs.Cell(idx, cell.String())
 		cfg := chaos.DefaultConfig(metas[idx].intensity)

@@ -196,15 +196,20 @@ func DatacenterStudyRun(o DatacenterStudyOptions) (DatacenterStudy, error) {
 		CellTimeout: o.CellTimeout,
 		Retries:     o.Retries,
 		Metrics:     o.Obs.PlanRegistry(),
+		Ledger:      o.Obs.LedgerSink(),
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (DatacenterCell, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var dc DatacenterCell
 		if useCache && o.Cache.Get(key, &dc) {
 			if o.Obs == nil || len(dc.Metrics.Metrics) > 0 {
+				o.Obs.LedgerSink().CacheHit(idx)
 				o.Obs.Record(idx, dc.Metrics)
 				return dc, nil
 			}
 			dc = DatacenterCell{}
+		}
+		if useCache && o.Cache != nil {
+			o.Obs.LedgerSink().CacheMiss(idx)
 		}
 		reg, tr := o.Obs.Cell(idx, cell.String())
 		dcCfg := datacenter.DefaultConfig()

@@ -210,15 +210,20 @@ func EvictionStudyRun(o EvictionStudyOptions) (EvictionStudy, error) {
 		CellTimeout: o.CellTimeout,
 		Retries:     o.Retries,
 		Metrics:     o.Obs.PlanRegistry(),
+		Ledger:      o.Obs.LedgerSink(),
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (EvictionCell, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var ec EvictionCell
 		if useCache && o.Cache.Get(key, &ec) {
 			if o.Obs == nil || len(ec.Metrics.Metrics) > 0 {
+				o.Obs.LedgerSink().CacheHit(idx)
 				o.Obs.Record(idx, ec.Metrics)
 				return ec, nil
 			}
 			ec = EvictionCell{}
+		}
+		if useCache && o.Cache != nil {
+			o.Obs.LedgerSink().CacheMiss(idx)
 		}
 		reg, tr := o.Obs.Cell(idx, cell.String())
 		dcCfg := datacenter.DefaultConfig()

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"hpmmap/internal/ledger"
+	"hpmmap/internal/runner"
+)
+
+// runFig7Ledgered runs the reduced Fig7 grid with a run ledger attached
+// and returns the full record stream plus the canonical projection bytes.
+func runFig7Ledgered(t *testing.T, workers int, cache *runner.Cache) ([]ledger.Record, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := ledger.Open(path, ledger.Meta{Model: "fig7-tiny", Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fig7Tiny(workers)
+	o.Cache = cache
+	obs := runner.NewObservations(0)
+	obs.SetLedger(l)
+	o.Obs = obs
+	if _, err := Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ledger.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := ledger.Marshal(ledger.Canonical(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, canon
+}
+
+func countType(recs []ledger.Record, typ string) int {
+	n := 0
+	for _, r := range recs {
+		if r.T == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFig7LedgerCanonicalByteIdentical pins the ledger's determinism
+// contract on a real experiment grid: the canonical projection must be
+// byte-identical between Workers=1 and Workers=8 and between a cold and
+// a warm cache run, even though the host annex differs wildly in both
+// comparisons (worker assignments, wall clocks, cache_hit vs cache_miss).
+func TestFig7LedgerCanonicalByteIdentical(t *testing.T) {
+	_, w1 := runFig7Ledgered(t, 1, nil)
+	_, w8 := runFig7Ledgered(t, 8, nil)
+	if !bytes.Equal(w1, w8) {
+		t.Errorf("canonical ledger differs between Workers=1 and Workers=8 (%d vs %d bytes)",
+			len(w1), len(w8))
+	}
+
+	cache, err := runner.NewCache(t.TempDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRecs, cold := runFig7Ledgered(t, 4, cache)
+	warmRecs, warm := runFig7Ledgered(t, 4, cache)
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("canonical ledger differs between cold and warm cache (%d vs %d bytes)",
+			len(cold), len(warm))
+	}
+	if !bytes.Equal(cold, w1) {
+		t.Errorf("cached run's canonical ledger differs from the uncached run")
+	}
+
+	// The host annex must record the cache behaviour the runs actually
+	// had: all misses cold, all hits warm.
+	if hits, misses := countType(coldRecs, ledger.TypeCacheHit), countType(coldRecs, ledger.TypeCacheMiss); hits != 0 || misses != 6 {
+		t.Errorf("cold run: %d hits, %d misses; want 0, 6", hits, misses)
+	}
+	if hits, misses := countType(warmRecs, ledger.TypeCacheHit), countType(warmRecs, ledger.TypeCacheMiss); hits != 6 || misses != 0 {
+		t.Errorf("warm run: %d hits, %d misses; want 6, 0", hits, misses)
+	}
+	if n := countType(coldRecs, ledger.TypeCellFinish); n != 6 {
+		t.Errorf("cold run journaled %d cell_finish records, want 6", n)
+	}
+}

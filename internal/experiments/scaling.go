@@ -261,6 +261,7 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 		Workers:  o.Workers,
 		Context:  o.Context,
 		Progress: runtimeProgress(o.Progress),
+		Ledger:   o.Obs.LedgerSink(),
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (fig7Cell, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var cc fig7Cell
@@ -270,10 +271,14 @@ func Fig8(o Fig8Options) ([]Fig8Panel, error) {
 			// Pre-observability cache entries lack the snapshot:
 			// re-simulate so it can be captured (see Fig7).
 			if o.Obs == nil || len(cc.Metrics.Metrics) > 0 {
+				o.Obs.LedgerSink().CacheHit(idx)
 				o.Obs.Record(idx, cc.Metrics)
 				return cc, nil
 			}
 			cc = fig7Cell{}
+		}
+		if useCache && o.Cache != nil {
+			o.Obs.LedgerSink().CacheMiss(idx)
 		}
 		reg, tr := o.Obs.Cell(idx, cell.String())
 		out, err := ExecuteCluster(ClusterRun{

@@ -158,6 +158,7 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 		Workers:  o.Workers,
 		Context:  o.Context,
 		Progress: runtimeProgress(o.Progress),
+		Ledger:   o.Obs.LedgerSink(),
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (fig7Cell, error) {
 		key := o.Cache.Key(plan.Name, cell, seed, float64(o.Scale))
 		var cc fig7Cell
@@ -171,10 +172,14 @@ func Fig7(o Fig7Options) ([]Fig7Panel, error) {
 			// A cached cell from before observability was enabled has no
 			// snapshot; re-simulate it so the metrics can be captured.
 			if o.Obs == nil || len(cc.Metrics.Metrics) > 0 {
+				o.Obs.LedgerSink().CacheHit(idx)
 				o.Obs.Record(idx, cc.Metrics)
 				return cc, nil
 			}
 			cc = fig7Cell{}
+		}
+		if useCache && o.Cache != nil {
+			o.Obs.LedgerSink().CacheMiss(idx)
 		}
 		reg, tr := o.Obs.Cell(idx, cell.String())
 		out, err := ExecuteSingleNode(SingleRun{

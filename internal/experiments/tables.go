@@ -102,6 +102,7 @@ func faultStudies(o FaultStudyOptions, benches []string) ([]FaultStudy, error) {
 		Workers:  o.Workers,
 		Context:  o.Context,
 		Progress: runtimeProgress(o.Progress),
+		Ledger:   o.Obs.LedgerSink(),
 	}, plan, func(ctx context.Context, idx int, cell runner.Cell, seed uint64) (studyCell, error) {
 		rec := trace.NewRecorder()
 		reg, tr := o.Obs.Cell(idx, cell.String())

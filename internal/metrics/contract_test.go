@@ -228,3 +228,75 @@ func TestGaugeMergeModesMatchDoc(t *testing.T) {
 		}
 	}
 }
+
+// docMeaningRow additionally captures the Meaning column, for the
+// HELP-line leg of the contract.
+var docMeaningRow = regexp.MustCompile("^\\| `([a-z][a-z0-9_]*)` \\| (?:counter|gauge|histogram) \\| (.*) \\|$")
+
+// docMeanings returns metric-name -> HELP text (the Meaning column
+// with backticks stripped — exactly what WriteOpenMetrics must emit).
+func docMeanings(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("read OBSERVABILITY.md: %v", err)
+	}
+	out := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		m := docMeaningRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		out[m[1]] = strings.ReplaceAll(strings.TrimSpace(m[2]), "`", "")
+	}
+	if len(out) == 0 {
+		t.Fatal("no meaning columns found in OBSERVABILITY.md")
+	}
+	return out
+}
+
+// TestHelpDerivedFromDoc is the fourth contract leg, both directions:
+// every declared metric has a MetricHelp entry whose text is exactly
+// its OBSERVABILITY.md Meaning column (backticks stripped), and every
+// MetricHelp key is a declared metric. The doc table is the source of
+// truth for `# HELP` exposition lines — edit the row, then mirror it
+// in help.go.
+func TestHelpDerivedFromDoc(t *testing.T) {
+	consts := parseNameConstants(t)
+	meanings := docMeanings(t)
+	byValue := make(map[string]bool, len(consts))
+	for _, name := range consts {
+		byValue[name] = true
+		help, ok := MetricHelp[name]
+		if !ok {
+			t.Errorf("metrics.MetricHelp lacks an entry for %q (help.go mirrors the OBSERVABILITY.md Meaning column)", name)
+			continue
+		}
+		want, ok := meanings[name]
+		if !ok {
+			continue // TestEveryConstantIsDocumented reports the missing row
+		}
+		if help != want {
+			t.Errorf("MetricHelp[%q] = %q, but the OBSERVABILITY.md Meaning column reads %q", name, help, want)
+		}
+	}
+	for name := range MetricHelp {
+		if !byValue[name] {
+			t.Errorf("MetricHelp documents %q but names.go declares no such constant", name)
+		}
+	}
+}
+
+// TestMergeMaxAnnotationReachesHelp: the "(merge: max)" doc annotation
+// must survive into the HELP text, so an OpenMetrics consumer sees the
+// fold semantics without reading this repository.
+func TestMergeMaxAnnotationReachesHelp(t *testing.T) {
+	for name, mode := range GaugeMergeModes {
+		if mode != MergeMax {
+			continue
+		}
+		if !strings.Contains(MetricHelp[name], "(merge: max)") {
+			t.Errorf("MetricHelp[%q] = %q lacks the \"(merge: max)\" annotation", name, MetricHelp[name])
+		}
+	}
+}

@@ -166,6 +166,13 @@ const (
 	RunnerCellsFailedTotal  = "runner_cells_failed_total"
 	RunnerCellRetriesTotal  = "runner_cell_retries_total"
 
+	// runner_ledger_* — the run journal (internal/ledger). Records
+	// counts only the canonical projection: host-annex record counts
+	// vary with cache state and worker scheduling, and a counter that
+	// varies would break the merged snapshot's byte-identity contract.
+	RunnerLedgerRecordsTotal = "runner_ledger_records_total"
+	RunnerLedgerPlansTotal   = "runner_ledger_plans_total"
+
 	// timeline_* — the deterministic time-series sampler
 	// (internal/timeline). Present only when a run attaches a Series.
 	TimelineSamplesTotal = "timeline_samples_total"

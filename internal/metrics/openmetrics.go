@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteOpenMetrics renders the snapshot in the OpenMetrics text
+// exposition format — the form a Prometheus scraper or promtool
+// ingests directly, and the format `hpmmap-ledger diff` compares. It
+// differs from WriteText in three spec-mandated ways:
+//
+//   - every metric family carries a `# HELP` line, sourced from
+//     MetricHelp — i.e. from the Meaning column of the OBSERVABILITY.md
+//     tables, the contract's machine-readable fourth leg;
+//   - counter samples are exposed under `<family>_total`: the family
+//     name drops the `_total` suffix of the internal name, and a
+//     counter whose internal name lacks the suffix (hpmmap_bytes_mapped)
+//     gains it on the sample;
+//   - histograms emit cumulative `_bucket{le="..."}` samples ending in
+//     the mandatory `le="+Inf"`, and the stream terminates with `# EOF`.
+//
+// Output is deterministic: families appear in snapshot order (sorted
+// by name) and values use the same integer-exact formatting as
+// WriteText.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	for _, m := range s.Metrics {
+		family := m.Name
+		if m.Kind == KindCounter {
+			family = strings.TrimSuffix(family, "_total")
+		}
+		if help, ok := MetricHelp[m.Name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, m.Kind); err != nil {
+			return err
+		}
+		switch m.Kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "%s_total %s\n", family, formatValue(m.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			cum := uint64(0)
+			for _, b := range m.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", family, b.Hi, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", family, m.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", family, m.Sum, family, m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", family, formatValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "# EOF")
+	return err
+}
+
+// escapeHelp applies the exposition format's HELP escaping (backslash
+// and line feed); the doc-derived help strings contain neither today,
+// but a future row must not corrupt the stream.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"hpmmap/internal/ledger"
 	"hpmmap/internal/metrics"
 	"hpmmap/internal/timeline"
 )
@@ -34,6 +35,10 @@ type Observations struct {
 	// own failure/retry counters and the result cache's corruption
 	// tally. Folded into Merged exactly once, after the cells.
 	plan *metrics.Registry
+
+	// led is the attached run journal (SetLedger); LedgerSink hands it
+	// to the runner via Options.Ledger.
+	led *ledger.Ledger
 }
 
 // cellObs is one cell's collected instrumentation.
@@ -201,6 +206,38 @@ func (o *Observations) PlanRegistry() *metrics.Registry {
 		o.plan = metrics.NewRegistry()
 	}
 	return o.plan
+}
+
+// SetLedger attaches the run journal. The runner writes lifecycle
+// records to it (pass LedgerSink as Options.Ledger), the cache hooks
+// write hit/miss traffic, and the plan registry gains the ledger's own
+// counters (runner_ledger_records_total counts canonical records only
+// — host record counts vary with cache state and so would break the
+// merged snapshot's byte-identity contract; runner_ledger_plans_total
+// counts plans journaled). Call before the plan runs. Safe on a nil
+// receiver or nil ledger.
+func (o *Observations) SetLedger(l *ledger.Ledger) {
+	if o == nil || l == nil {
+		return
+	}
+	o.mu.Lock()
+	o.led = l
+	o.mu.Unlock()
+	reg := o.PlanRegistry()
+	reg.CounterFunc(metrics.RunnerLedgerRecordsTotal, func() uint64 { return l.CanonicalRecords() })
+	reg.CounterFunc(metrics.RunnerLedgerPlansTotal, func() uint64 { return l.PlanCount() })
+}
+
+// LedgerSink returns the attached ledger (nil when none is attached or
+// on a nil receiver — a nil *ledger.Ledger is the no-op sink, so the
+// result passes straight into Options.Ledger).
+func (o *Observations) LedgerSink() *ledger.Ledger {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.led
 }
 
 // ObserveCache wires the result cache's corruption tally into the plan

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hpmmap/internal/ledger"
 	"hpmmap/internal/metrics"
 )
 
@@ -108,12 +109,29 @@ type Event struct {
 	Result any
 	// Err is the cell's error, if any.
 	Err error
+	// Failed counts cells that have failed so far (quarantined holes
+	// under ContinueOnError, fatal otherwise). Done includes them — a
+	// failed cell is finished, just not successful — so Failed is what
+	// distinguishes "10/10" from "10/10 with holes" in a progress line.
+	Failed int
+	// Retries counts host-transient cell re-runs so far across the
+	// plan. A retried cell never double-counts toward Done; this is the
+	// only place retry churn surfaces in progress.
+	Retries int
 }
 
-// String renders a progress line with done/total and ETA.
+// String renders a progress line with done/total and ETA; failed and
+// retried cells are called out distinctly so a grid with quarantined
+// holes never reads as clean.
 func (e Event) String() string {
-	s := fmt.Sprintf("%s %d/%d (ETA %s) %s", e.Plan, e.Done, e.Total,
-		e.ETA.Round(time.Second), e.Cell)
+	s := fmt.Sprintf("%s %d/%d", e.Plan, e.Done, e.Total)
+	if e.Failed > 0 {
+		s += fmt.Sprintf(" [%d failed]", e.Failed)
+	}
+	if e.Retries > 0 {
+		s += fmt.Sprintf(" [%d retried]", e.Retries)
+	}
+	s += fmt.Sprintf(" (ETA %s) %s", e.ETA.Round(time.Second), e.Cell)
 	if e.Err != nil {
 		s += ": " + e.Err.Error()
 	}
@@ -176,6 +194,13 @@ type Options struct {
 	// counters (runner_cells_failed_total, runner_cell_retries_total)
 	// as pull sources — typically Observations.PlanRegistry().
 	Metrics *metrics.Registry
+
+	// Ledger, when non-nil, receives the run journal: a canonical
+	// manifest + cell-lifecycle stream (byte-identical at any worker
+	// count; see internal/ledger) plus a host annex of wall-times,
+	// worker IDs, allocation deltas, retries and timeouts. Typically
+	// Observations.LedgerSink().
+	Ledger *ledger.Ledger
 }
 
 // CellFunc computes one cell. idx is the cell's position in Plan.Cells;
@@ -207,6 +232,9 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
+
+	led := opts.Ledger // nil is the no-op sink, but host probes are gated on it
+	led.BeginPlan(plan.Name, plan.Seed, len(plan.Cells), workers)
 
 	var (
 		mu       sync.Mutex // serializes progress + failure recording
@@ -252,6 +280,8 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 			Done: done, Total: len(plan.Cells),
 			Elapsed: elapsed, ETA: eta,
 			Result: res, Err: err,
+			Failed:  int(cellsFailed.Load()),
+			Retries: int(cellRetries.Load()),
 		})
 	}
 
@@ -281,6 +311,7 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 		out, err = fn(cellCtx, idx, plan.Cells[idx], plan.Cells[idx].Seed(plan.Seed))
 		if err != nil && cellCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
 			err = fmt.Errorf("runner: cell exceeded timeout %s: %w", opts.CellTimeout, err)
+			led.CellTimeout(idx)
 		}
 		return out, err
 	}
@@ -325,6 +356,7 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 				return out, err
 			}
 			cellRetries.Add(1)
+			led.CellRetry(idx, attempt+1, ledger.FirstLine(err))
 			if !retryWait(attempt) {
 				return out, err
 			}
@@ -335,13 +367,35 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for idx := range jobs {
 				if ctx.Err() != nil {
 					continue // cancelled: drain without executing
 				}
+				// Host probes (wall clock, allocation delta) are gated
+				// on an attached ledger so the bare path pays nothing.
+				var cellStart time.Time
+				var alloc0 uint64
+				if led != nil {
+					led.CellStart(idx, plan.Cells[idx].String(), plan.Cells[idx].Seed(plan.Seed))
+					alloc0 = totalAlloc()
+					cellStart = time.Now()
+				}
 				out, err := runCell(idx)
+				if led != nil {
+					led.CellHost(idx, worker, time.Since(cellStart), totalAlloc()-alloc0)
+					status, errText := ledger.StatusOK, ""
+					if err != nil {
+						errText = ledger.FirstLine(err)
+						if opts.ContinueOnError {
+							status = ledger.StatusQuarantined
+						} else {
+							status = ledger.StatusFailed
+						}
+					}
+					led.CellFinish(idx, status, errText)
+				}
 				if err != nil {
 					fail(idx, err)
 					emit(idx, nil, err)
@@ -350,13 +404,14 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 				results[idx] = out
 				emit(idx, out, nil)
 			}
-		}()
+		}(w)
 	}
 	for idx := range plan.Cells {
 		jobs <- idx
 	}
 	close(jobs)
 	wg.Wait()
+	led.EndPlan()
 
 	mu.Lock()
 	err := firstErr
@@ -373,4 +428,14 @@ func Run[T any](opts Options, plan Plan, fn CellFunc[T]) ([]T, error) {
 		return results, &GridError{Plan: plan.Name, Total: len(plan.Cells), Failures: fails}
 	}
 	return results, nil
+}
+
+// totalAlloc reads the process-wide cumulative allocation counter for
+// the ledger's per-cell alloc delta. With overlapping workers the
+// delta attributes concurrent allocation to whichever cell is being
+// bracketed — a host-annex attribution, never canonical data.
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
 }
